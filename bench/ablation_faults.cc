@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation: media faults and degraded arrays.
+ *
+ * Two dependability questions the paper's Section 8 raises but does
+ * not quantify:
+ *
+ *  1. Media retries (ECC re-reads costing a full revolution) inflate
+ *     tail latency. Do spare arms absorb the hiccups? Sweep the
+ *     injected retry rate on conventional vs SA(4).
+ *  2. A RAID-5 array in degraded mode fans reads across all survivors.
+ *     How much of the degradation do intra-disk parallel members hide?
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "stats/table.hh"
+#include "workload/synthetic.hh"
+
+int
+main()
+{
+    using namespace idp;
+    using stats::fmt;
+
+    const std::uint64_t requests = core::benchRequestCount(100000);
+    std::cout << "=== Ablation: media faults and degraded arrays ===\n"
+              << "requests: " << requests << "\n\n";
+
+    workload::SyntheticParams wp;
+    wp.requests = requests;
+    wp.meanInterArrivalMs = 8.0;
+    wp.addressSpaceSectors = 700ULL * 1000 * 1000 * 1000 / 512;
+    const auto trace = workload::generateSynthetic(wp);
+
+    // --- media retry sweep ----------------------------------------
+    stats::TextTable retry_table(
+        "Media retry rate vs response time (single drive)");
+    retry_table.setHeader({"Drive", "RetryRate", "Mean(ms)",
+                           "P99(ms)", "Retries", "HardErrors"});
+    for (std::uint32_t arms : {1u, 4u}) {
+        for (double rate : {0.0, 0.02, 0.10}) {
+            disk::DriveSpec drive = disk::barracudaEs750();
+            if (arms > 1)
+                drive = disk::makeIntraDiskParallel(drive, arms);
+            drive.mediaRetryRate = rate;
+            core::SystemConfig config = core::makeRaid0System(
+                arms == 1 ? "conventional" : "SA(4)", drive, 1);
+            const core::RunResult r = core::runTrace(trace, config);
+            retry_table.addRow({config.name, fmt(rate, 2),
+                                fmt(r.meanResponseMs, 2),
+                                fmt(r.p99ResponseMs, 2),
+                                std::to_string(r.mediaRetries),
+                                std::to_string(r.hardErrors)});
+        }
+    }
+    retry_table.print(std::cout);
+    std::cout << '\n';
+
+    // --- degraded RAID-5 -------------------------------------------
+    stats::TextTable degraded_table(
+        "RAID-5 (4 disks): healthy vs degraded mode");
+    degraded_table.setHeader({"Members", "Mode", "Mean(ms)", "P90(ms)",
+                              "AvgPower(W)"});
+    for (std::uint32_t arms : {1u, 4u}) {
+        for (bool degraded : {false, true}) {
+            sim::Simulator simul;
+            array::ArrayParams params;
+            params.layout = array::Layout::Raid5;
+            params.disks = 4;
+            params.drive = disk::barracudaEs750();
+            if (arms > 1)
+                params.drive = disk::makeIntraDiskParallel(
+                    params.drive, arms);
+            stats::SampleSet resp;
+            array::StorageArray arr(
+                simul, params,
+                [&resp](const workload::IoRequest &r, sim::Tick t) {
+                    resp.add(sim::ticksToMs(t - r.arrival));
+                });
+            if (degraded)
+                arr.failDisk(1);
+            for (const auto &r : trace) {
+                workload::IoRequest scaled = r;
+                scaled.lba %= arr.logicalSectors() - 512;
+                simul.schedule(r.arrival, [&arr, scaled] {
+                    arr.submit(scaled);
+                });
+            }
+            simul.run();
+            const auto power = arr.finishPower();
+            degraded_table.addRow({
+                arms == 1 ? "conventional" : "SA(4)",
+                degraded ? "degraded" : "healthy",
+                fmt(resp.mean(), 2),
+                fmt(resp.p90(), 2),
+                fmt(power.totalAvgW(), 1),
+            });
+        }
+    }
+    degraded_table.print(std::cout);
+
+    std::cout << "\nReading: retry hiccups and reconstruction fan-out "
+                 "both cost rotations;\nintra-disk parallel members "
+                 "absorb them with spare positioning capacity.\n";
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Section 5: intra-disk parallelism as a freeblock-scheduling
+ * replacement.
+ *
+ * Freeblock scheduling [24] squeezes background I/O (scrubbing,
+ * archival scans) into the rotational-latency gaps of foreground
+ * requests; the paper argues a parallel drive provides the same
+ * functionality with dedicated hardware and without freeblock's
+ * deadline restriction. This bench runs a foreground OLTP-like stream
+ * with strict priority over a saturating random background scan and
+ * reports, per actuator count: foreground response time (the cost)
+ * and background throughput (the benefit).
+ *
+ * Expected shape: a conventional drive must steal whole service slots
+ * for background work, so it either starves the scan or hurts the
+ * foreground; extra arms multiply idle capacity, letting the drive
+ * absorb far more background I/O at essentially unchanged foreground
+ * latency.
+ */
+
+#include <iostream>
+
+#include "disk/disk_drive.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "stats/sampler.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace idp;
+    using stats::fmt;
+
+    const std::uint64_t fg_requests = 40000;
+    const double fg_inter_ms = 9.0; // moderate foreground load
+
+    stats::TextTable table(
+        "Freeblock-style background service (foreground: one 8 KB "
+        "request / 9 ms)");
+    table.setHeader({"Drive", "FG mean (ms)", "FG p90 (ms)",
+                     "BG IOPS achieved", "BG MB/s"});
+
+    for (std::uint32_t arms : {1u, 2u, 4u}) {
+        sim::Simulator simul;
+        disk::DriveSpec spec = disk::barracudaEs750();
+        if (arms > 1)
+            spec = disk::makeIntraDiskParallel(spec, arms);
+
+        stats::SampleSet fg_resp;
+        disk::DiskDrive drive(
+            simul, spec,
+            [&fg_resp](const workload::IoRequest &req, sim::Tick done,
+                       const disk::ServiceInfo &) {
+                if (!req.background)
+                    fg_resp.add(sim::ticksToMs(done - req.arrival));
+            });
+
+        sim::Rng rng(0xF8EE + arms);
+        const std::uint64_t space =
+            drive.geometry().totalSectors() - 256;
+
+        // Foreground stream.
+        double clock_ms = 0.0;
+        for (std::uint64_t i = 0; i < fg_requests; ++i) {
+            clock_ms += rng.exponential(fg_inter_ms);
+            workload::IoRequest req;
+            req.id = i;
+            req.arrival = sim::msToTicks(clock_ms);
+            req.lba = rng.uniformInt(space);
+            req.sectors = 16;
+            req.isRead = rng.chance(0.7);
+            simul.schedule(req.arrival,
+                           [&drive, req] { drive.submit(req); });
+        }
+        const sim::Tick horizon = sim::msToTicks(clock_ms);
+
+        // Saturating background scan: keep 8 random 32 KB background
+        // reads outstanding at all times via resubmission.
+        std::uint64_t bg_id = 1u << 30;
+        std::uint64_t bg_done = 0;
+        std::function<void(std::uint64_t)> issue_bg =
+            [&](std::uint64_t id) {
+                workload::IoRequest req;
+                req.id = id;
+                req.arrival = simul.now();
+                req.lba = rng.uniformInt(space);
+                req.sectors = 64;
+                req.isRead = true;
+                req.background = true;
+                drive.submit(req);
+            };
+        // Background issue is poll-driven: a periodic pump keeps the
+        // scan queue topped up; completions are counted from the
+        // drive's backgroundCompletions statistic after the run.
+        std::function<void()> pump = [&]() {
+            if (simul.now() >= horizon)
+                return;
+            // Keep the background queue topped up to depth 8.
+            while (drive.queueDepth() + drive.inFlight() <
+                   8 + 2 /* headroom */) {
+                issue_bg(bg_id++);
+            }
+            simul.scheduleAfter(sim::msToTicks(2.0), pump);
+        };
+        simul.schedule(0, pump);
+
+        // Count background completions via drive stats at the end.
+        simul.run();
+        bg_done = drive.stats().backgroundCompletions;
+
+        const double secs = sim::ticksToSeconds(horizon);
+        const double bg_iops = static_cast<double>(bg_done) / secs;
+        table.addRow({
+            arms == 1 ? "conventional"
+                      : "SA(" + std::to_string(arms) + ")",
+            fmt(fg_resp.mean(), 2),
+            fmt(fg_resp.p90(), 2),
+            fmt(bg_iops, 0),
+            fmt(bg_iops * 64 * 512 / 1e6, 1),
+        });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: on one arm, non-preemptive background "
+                 "service head-of-line blocks the\nforeground even "
+                 "under strict priority; extra arms absorb the scan "
+                 "AND shield\nforeground latency — the freeblock-"
+                 "scheduling role without its rotational-gap\n"
+                 "deadline (paper Section 5).\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: disk scheduling policy.
+ *
+ * The reproduction's default follows the paper's setup: rot-blind
+ * request selection (C-LOOK over a bounded window, as DiskSim's
+ * driver-level LBN schedulers do) with positioning-aware arm choice.
+ * This bench quantifies what each policy contributes on HC-SD and on
+ * the 4-actuator drive: FCFS, SSTF, C-LOOK, full joint SPTF, and aged
+ * SPTF. Full SPTF lets even a single-arm drive cherry-pick short
+ * rotational waits from a deep queue — queue-depth scheduling and arm
+ * parallelism are partially substitutable, which is why the paper's
+ * baseline choice matters when interpreting Figure 4.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace idp;
+    using workload::Commercial;
+
+    const std::uint64_t requests = core::benchRequestCount(200000);
+    std::cout << "=== Ablation: scheduling policy (Websearch) ===\n"
+              << "requests: " << requests << "\n\n";
+
+    workload::CommercialParams wp;
+    wp.kind = Commercial::Websearch;
+    wp.requests = requests;
+    const auto trace = workload::generateCommercial(wp);
+
+    const sched::Policy policies[] = {
+        sched::Policy::Fcfs, sched::Policy::Sstf, sched::Policy::Clook,
+        sched::Policy::Sptf, sched::Policy::SptfAged};
+
+    for (std::uint32_t arms : {1u, 4u}) {
+        std::vector<core::RunResult> rows;
+        for (sched::Policy policy : policies) {
+            core::SystemConfig config =
+                core::makeSaSystem(Commercial::Websearch, arms);
+            config.array.drive.sched.policy = policy;
+            config.name = (arms == 1 ? std::string("HC-SD/")
+                                     : std::string("SA(4)/")) +
+                sched::policyToString(policy);
+            rows.push_back(core::runTrace(trace, config));
+        }
+        core::printSummary(std::cout,
+                           arms == 1
+                               ? "Single-actuator drive (HC-SD)"
+                               : "4-actuator drive (HC-SD-SA(4))",
+                           rows);
+    }
+
+    std::cout << "Reading: FCFS collapses; seek-aware policies "
+                 "recover throughput; full SPTF\nadditionally "
+                 "optimizes rotation from queue depth, narrowing the "
+                 "gap that extra\narms would otherwise close.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 9(a) and Figure 9(b): the cost-benefit analysis.
+ *
+ * Prints the per-component cost table for conventional / 2-actuator /
+ * 4-actuator drives (which must reproduce the paper's column totals
+ * exactly: 67.7-80.8 / 100.4-116.6 / 165.8-188.2 dollars) and the
+ * iso-performance configuration comparison, where 2x dual-actuator
+ * drives come in ~27% cheaper and 1x quad-actuator ~40% cheaper than
+ * 4 conventional drives.
+ */
+
+#include <iostream>
+
+#include "cost/cost_model.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace idp;
+    using cost::PriceRange;
+    using stats::fmt;
+
+    auto range = [](const PriceRange &r) {
+        return fmt(r.lo, 1) + "-" + fmt(r.hi, 1);
+    };
+
+    stats::TextTable table(
+        "Table 9(a): estimated component and drive costs (USD)");
+    table.setHeader({"Component", "Unit", "Conventional", "2-Actuator",
+                     "4-Actuator"});
+    for (const auto &comp : cost::table9Components()) {
+        table.addRow({comp.name, range(comp.unitPrice),
+                      range(comp.costFor(1)), range(comp.costFor(2)),
+                      range(comp.costFor(4))});
+    }
+    table.addSeparator();
+    table.addRow({"Total Estimated Cost", "", range(cost::driveCost(1)),
+                  range(cost::driveCost(2)),
+                  range(cost::driveCost(4))});
+    table.print(std::cout);
+    std::cout << '\n';
+
+    stats::TextTable iso(
+        "Figure 9(b): iso-performance cost comparison");
+    iso.setHeader({"Configuration", "Cost lo", "Cost mid", "Cost hi",
+                   "vs conventional"});
+    const double conv_mid =
+        cost::figure9Configs()[0].totalCost().mid();
+    for (const auto &config : cost::figure9Configs()) {
+        const PriceRange total = config.totalCost();
+        const double saving = 1.0 - total.mid() / conv_mid;
+        iso.addRow({config.name, fmt(total.lo, 1), fmt(total.mid(), 1),
+                    fmt(total.hi, 1),
+                    config.actuatorsPerDrive == 1
+                        ? "--"
+                        : "-" + stats::fmtPct(saving, 0)});
+    }
+    iso.print(std::cout);
+
+    std::cout << "\nPaper check: totals 67.7-80.8 / 100.4-116.6 / "
+                 "165.8-188.2; savings ~27% and ~40%.\n";
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the simulator core: event
+ * queue throughput, geometry mapping, seek/rotation math, scheduler
+ * selection cost, and end-to-end drive service rate. These guard the
+ * simulator's own performance (the experiment benches replay hundreds
+ * of thousands of requests per configuration).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "disk/disk_drive.hh"
+#include "geom/geometry.hh"
+#include "mech/seek_model.hh"
+#include "mech/spindle.hh"
+#include "sched/scheduler.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace idp;
+
+void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator simul;
+        for (int i = 0; i < 1024; ++i)
+            simul.schedule(static_cast<sim::Tick>(i * 37 % 4096),
+                           [] {});
+        simul.run();
+        benchmark::DoNotOptimize(simul.eventsFired());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void
+BM_GeometryLbaToChs(benchmark::State &state)
+{
+    const auto g = geom::DiskGeometry::build(geom::GeometryParams{});
+    sim::Rng rng(1);
+    std::vector<geom::Lba> lbas(4096);
+    for (auto &l : lbas)
+        l = rng.uniformInt(g.totalSectors());
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(g.lbaToChs(lbas[i++ & 4095]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeometryLbaToChs);
+
+void
+BM_SeekTime(benchmark::State &state)
+{
+    mech::SeekParams p;
+    p.cylinders = 120000;
+    const mech::SeekModel m(p);
+    std::uint32_t d = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.seekTimeMs(d));
+        d = (d * 7 + 13) % 120000;
+    }
+}
+BENCHMARK(BM_SeekTime);
+
+void
+BM_SpindleWait(benchmark::State &state)
+{
+    const mech::Spindle s(7200);
+    sim::Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.waitFor(t, 0.37, 0.5));
+        t += 12345;
+    }
+}
+BENCHMARK(BM_SpindleWait);
+
+void
+BM_SptfSelect(benchmark::State &state)
+{
+    const std::int64_t window = state.range(0);
+    auto scheduler = sched::makeScheduler({sched::Policy::Sptf, 0.0});
+    std::vector<sched::PendingView> pending;
+    for (std::int64_t i = 0; i < window; ++i)
+        pending.push_back({static_cast<std::uint32_t>(i), 0,
+                           static_cast<std::uint32_t>(i * 613 % 100000),
+                           0, true});
+    std::vector<sched::ArmView> arms = {
+        {0, 10000, 0.0}, {1, 40000, 0.25}, {2, 70000, 0.5},
+        {3, 95000, 0.75}};
+    const sched::PositioningFn oracle =
+        [](const sched::PendingView &r, const sched::ArmView &a) {
+            return static_cast<sim::Tick>(
+                r.cylinder > a.cylinder ? r.cylinder - a.cylinder
+                                        : a.cylinder - r.cylinder);
+        };
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            scheduler->select(pending, arms, oracle, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * window * 4);
+}
+BENCHMARK(BM_SptfSelect)->Arg(8)->Arg(48)->Arg(128);
+
+void
+BM_DriveServiceRate(benchmark::State &state)
+{
+    const std::uint32_t arms = static_cast<std::uint32_t>(
+        state.range(0));
+    for (auto _ : state) {
+        sim::Simulator simul;
+        disk::DriveSpec spec = disk::makeIntraDiskParallel(
+            disk::enterpriseDrive(2.0, 10000, 2), arms);
+        std::uint64_t done = 0;
+        disk::DiskDrive drive(
+            simul, spec,
+            [&done](const workload::IoRequest &, sim::Tick,
+                    const disk::ServiceInfo &) { ++done; });
+        sim::Rng rng(7);
+        const std::uint64_t total =
+            drive.geometry().totalSectors() - 64;
+        for (int i = 0; i < 512; ++i) {
+            workload::IoRequest req;
+            req.id = i;
+            req.arrival = 0;
+            req.lba = rng.uniformInt(total);
+            req.sectors = 8;
+            req.isRead = true;
+            simul.schedule(0, [&drive, req] { drive.submit(req); });
+        }
+        simul.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_DriveServiceRate)->Arg(1)->Arg(4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Example: inspect a drive model from the inside.
+ *
+ * Dumps what the simulator derives from a drive specification: the
+ * zone map (cylinders, sectors/track, per-zone transfer rate), seek-
+ * curve samples, spindle characteristics, the four-mode power levels,
+ * thermal headroom, and — for a multi-actuator spec — the arm
+ * azimuths and expected rotational latency. Useful when building a
+ * custom DriveSpec or an idpsim [drive] section.
+ *
+ * Usage: drive_explorer [rpm] [capacity_gb] [actuators]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analytic/queueing.hh"
+#include "disk/drive_config.hh"
+#include "geom/geometry.hh"
+#include "mech/seek_model.hh"
+#include "mech/spindle.hh"
+#include "power/power_model.hh"
+#include "power/thermal.hh"
+#include "stats/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace idp;
+    using stats::fmt;
+
+    disk::DriveSpec spec = disk::barracudaEs750();
+    if (argc > 1 && std::atoi(argv[1]) > 0)
+        spec = disk::withRpm(spec, std::atoi(argv[1]));
+    if (argc > 2 && std::atof(argv[2]) > 0)
+        spec.geometry.capacityBytes =
+            static_cast<std::uint64_t>(std::atof(argv[2]) * 1e9);
+    if (argc > 3 && std::atoi(argv[3]) > 1)
+        spec = disk::makeIntraDiskParallel(spec, std::atoi(argv[3]));
+    spec.normalize();
+
+    const auto geometry = geom::DiskGeometry::build(spec.geometry);
+    const mech::Spindle spindle(spec.rpm);
+    mech::SeekParams sp = spec.seek;
+    sp.cylinders = geometry.cylinders();
+    const mech::SeekModel seeks(sp);
+    const power::PowerModel power_model(spec.power);
+    const power::ThermalModel thermal{power::ThermalParams{}};
+
+    std::cout << "Drive: " << spec.name << " ("
+              << spec.dash.str() << ")\n"
+              << geometry.describe() << "\n"
+              << "spindle: " << spec.rpm << " RPM, "
+              << fmt(spindle.periodMs(), 3) << " ms/rev\n\n";
+
+    stats::TextTable zones("Zone map (first/last/every 6th)");
+    zones.setHeader({"Zone", "FirstCyl", "Cyls", "Sect/Track",
+                     "Rate(MB/s)"});
+    const auto &zone_list = geometry.zones();
+    for (std::size_t z = 0; z < zone_list.size(); ++z) {
+        if (z != 0 && z + 1 != zone_list.size() && z % 6 != 0)
+            continue;
+        const auto &zone = zone_list[z];
+        const double rate = zone.sectorsPerTrack * 512.0 /
+            (spindle.periodMs() / 1000.0) / 1e6;
+        zones.addRow({std::to_string(z),
+                      std::to_string(zone.firstCylinder),
+                      std::to_string(zone.cylinders),
+                      std::to_string(zone.sectorsPerTrack),
+                      fmt(rate, 1)});
+    }
+    zones.print(std::cout);
+    std::cout << '\n';
+
+    stats::TextTable curve("Seek curve samples");
+    curve.setHeader({"Distance(cyl)", "Time(ms)"});
+    for (std::uint32_t d :
+         {0u, 1u, 10u, 100u, 1000u, 10000u, geometry.cylinders() / 3,
+          geometry.cylinders() - 1})
+        curve.addRow({std::to_string(d), fmt(seeks.seekTimeMs(d), 3)});
+    curve.print(std::cout);
+    std::cout << "uniform-random average: "
+              << fmt(seeks.uniformAverageMs(), 2) << " ms\n\n";
+
+    stats::TextTable power_table("Power levels");
+    power_table.setHeader({"Mode", "Watts"});
+    power_table.addRow({"idle (spinning)", fmt(power_model.idleW(), 2)});
+    power_table.addRow({"seeking (1 VCM)", fmt(power_model.seekW(), 2)});
+    power_table.addRow({"transferring", fmt(power_model.transferW(), 2)});
+    power_table.addRow(
+        {"worst case (all VCMs)", fmt(power_model.peakW(), 2)});
+    power_table.print(std::cout);
+    std::cout << "thermal headroom: envelope allows "
+              << fmt(thermal.powerBudgetW(), 1) << " W ("
+              << (thermal.feasible(spec.power) ? "feasible"
+                                               : "INFEASIBLE")
+              << " at worst case)\n\n";
+
+    if (spec.dash.armAssemblies > 1) {
+        stats::TextTable arms("Arm assemblies");
+        arms.setHeader({"Arm", "Azimuth(deg)"});
+        for (std::uint32_t k = 0; k < spec.dash.armAssemblies; ++k)
+            arms.addRow({std::to_string(k),
+                         fmt(disk::armAzimuth(
+                                 k, spec.dash.armAssemblies) *
+                                 360.0,
+                             1)});
+        arms.print(std::cout);
+        std::cout << "expected rotational latency: "
+                  << fmt(analytic::expectedRotLatencyMs(
+                             spec.rpm, spec.dash.armAssemblies),
+                         2)
+                  << " ms (vs "
+                  << fmt(analytic::expectedRotLatencyMs(spec.rpm, 1),
+                         2)
+                  << " ms conventional)\n";
+    }
+    return 0;
+}

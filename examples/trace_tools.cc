@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Example: trace generation and inspection CLI.
+ *
+ * Subcommands:
+ *   gen <financial|websearch|tpcc|tpch|synthetic> <requests> <file>
+ *       Synthesize a workload and write it in the idp-trace format.
+ *   info <file>
+ *       Print summary statistics of a trace file.
+ *   replay <file> [disks] [actuators]
+ *       Replay a trace against a RAID-0 array of intra-disk parallel
+ *       drives and print the results.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "stats/table.hh"
+#include "workload/commercial.hh"
+#include "workload/locality.hh"
+#include "workload/synthetic.hh"
+#include "workload/trace_io.hh"
+
+namespace {
+
+using namespace idp;
+
+int
+usage()
+{
+    std::cerr << "usage:\n"
+              << "  trace_tools gen <financial|websearch|tpcc|tpch|"
+                 "synthetic> <requests> <file>\n"
+              << "  trace_tools info <file>\n"
+              << "  trace_tools replay <file> [disks] [actuators]\n";
+    return 2;
+}
+
+void
+printInfo(const workload::Trace &trace)
+{
+    const auto s = workload::summarize(trace);
+    stats::TextTable table("Trace summary");
+    table.setHeader({"Metric", "Value"});
+    table.addRow({"requests", std::to_string(s.requests)});
+    table.addRow({"devices", std::to_string(s.devices)});
+    table.addRow({"reads", stats::fmtPct(s.readFraction, 1)});
+    table.addRow({"duration (s)", stats::fmt(s.durationSeconds, 2)});
+    table.addRow(
+        {"mean inter-arrival (ms)", stats::fmt(s.meanInterArrivalMs, 3)});
+    table.addRow({"mean size (KB)", stats::fmt(s.meanSizeKB, 1)});
+    table.addRow({"total data (GB)",
+                  stats::fmt(static_cast<double>(s.totalBytes) / 1e9, 2)});
+    table.print(std::cout);
+
+    const workload::LocalityReport loc =
+        workload::analyzeLocality(trace);
+    stats::TextTable locality("Locality / burstiness");
+    locality.setHeader({"Metric", "Value"});
+    locality.addRow({"sequential fraction",
+                     stats::fmtPct(loc.sequentialFraction, 1)});
+    locality.addRow(
+        {"mean run length", stats::fmt(loc.meanRunLength, 2)});
+    locality.addRow({"median jump (sectors)",
+                     stats::fmt(loc.medianJumpSectors, 0)});
+    locality.addRow({"hottest device share",
+                     stats::fmtPct(loc.hottestDeviceShare, 1)});
+    locality.addRow({"inter-arrival CV^2",
+                     stats::fmt(loc.interArrivalCv2, 2)});
+    locality.addRow(
+        {"footprint ratio", stats::fmt(loc.footprintRatio, 3)});
+    locality.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+
+    if (cmd == "gen") {
+        if (argc < 5)
+            return usage();
+        const std::string kind = argv[2];
+        const std::uint64_t n =
+            static_cast<std::uint64_t>(std::atoll(argv[3]));
+        const std::string path = argv[4];
+        workload::Trace trace;
+        if (kind == "synthetic") {
+            workload::SyntheticParams p;
+            p.requests = n;
+            trace = workload::generateSynthetic(p);
+        } else {
+            workload::CommercialParams p;
+            if (kind == "financial")
+                p.kind = workload::Commercial::Financial;
+            else if (kind == "websearch")
+                p.kind = workload::Commercial::Websearch;
+            else if (kind == "tpcc")
+                p.kind = workload::Commercial::TpcC;
+            else if (kind == "tpch")
+                p.kind = workload::Commercial::TpcH;
+            else
+                return usage();
+            p.requests = n;
+            trace = workload::generateCommercial(p);
+        }
+        workload::writeTraceFile(path, trace);
+        std::cout << "wrote " << trace.size() << " requests to "
+                  << path << "\n";
+        printInfo(trace);
+        return 0;
+    }
+
+    if (cmd == "info") {
+        if (argc < 3)
+            return usage();
+        printInfo(workload::readTraceFile(argv[2]));
+        return 0;
+    }
+
+    if (cmd == "replay") {
+        if (argc < 3)
+            return usage();
+        const auto trace = workload::readTraceFile(argv[2]);
+        const std::uint32_t disks = argc > 3
+            ? static_cast<std::uint32_t>(std::atoi(argv[3]))
+            : 1;
+        const std::uint32_t actuators = argc > 4
+            ? static_cast<std::uint32_t>(std::atoi(argv[4]))
+            : 1;
+        idp::disk::DriveSpec drive = idp::disk::barracudaEs750();
+        if (actuators > 1)
+            drive = idp::disk::makeIntraDiskParallel(drive, actuators);
+        const auto config = idp::core::makeRaid0System(
+            std::to_string(disks) + "x SA(" +
+                std::to_string(actuators) + ")",
+            drive, disks);
+
+        // Flatten per-device addresses onto the array's logical space
+        // by treating (device, lba) as a concatenated offset.
+        workload::Trace flat = trace;
+        std::uint64_t max_lba = 0;
+        for (const auto &r : trace)
+            max_lba = std::max(max_lba,
+                               static_cast<std::uint64_t>(r.lba) +
+                                   r.sectors);
+        for (auto &r : flat) {
+            r.lba += static_cast<geom::Lba>(r.device) * max_lba;
+            r.device = 0;
+        }
+        const auto result = idp::core::runTrace(flat, config);
+        idp::core::printSummary(std::cout, "Replay results", {result});
+        idp::core::printResponseCdf(std::cout, "Response-time CDF",
+                                    {result});
+        return 0;
+    }
+
+    return usage();
+}

@@ -1,0 +1,76 @@
+#include "analytic/queueing.hh"
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace analytic {
+
+double
+utilization(double lambda, double mean_service)
+{
+    sim::simAssert(lambda >= 0.0 && mean_service >= 0.0,
+                   "analytic: negative rate or service");
+    return lambda * mean_service;
+}
+
+double
+mm1MeanWait(double lambda, double mean_service)
+{
+    const double rho = utilization(lambda, mean_service);
+    sim::simAssert(rho < 1.0, "analytic: unstable M/M/1");
+    return rho * mean_service / (1.0 - rho);
+}
+
+double
+mg1MeanWait(double lambda, double mean_service,
+            double second_moment_service)
+{
+    const double rho = utilization(lambda, mean_service);
+    sim::simAssert(rho < 1.0, "analytic: unstable M/G/1");
+    return lambda * second_moment_service / (2.0 * (1.0 - rho));
+}
+
+double
+md1MeanWait(double lambda, double d)
+{
+    return mg1MeanWait(lambda, d, d * d);
+}
+
+double
+expectedMinUniform(double span, std::uint32_t k)
+{
+    sim::simAssert(span >= 0.0 && k >= 1,
+                   "analytic: bad min-uniform arguments");
+    return span / static_cast<double>(k + 1);
+}
+
+double
+expectedRotLatencyMs(std::uint32_t rpm, std::uint32_t heads)
+{
+    sim::simAssert(rpm > 0 && heads > 0,
+                   "analytic: bad rotational arguments");
+    const double period_ms = 60000.0 / static_cast<double>(rpm);
+    return period_ms / (2.0 * static_cast<double>(heads));
+}
+
+double
+expectedRandomSeekDistance(std::uint32_t cylinders)
+{
+    return static_cast<double>(cylinders) / 3.0;
+}
+
+TwoMoments
+uniformPlusConstantMoments(double span, double constant)
+{
+    sim::simAssert(span >= 0.0 && constant >= 0.0,
+                   "analytic: negative span or constant");
+    TwoMoments m;
+    m.mean = span / 2.0 + constant;
+    // E[(U + c)^2] = E[U^2] + 2 c E[U] + c^2 = span^2/3 + c*span + c^2.
+    m.second = span * span / 3.0 + constant * span +
+        constant * constant;
+    return m;
+}
+
+} // namespace analytic
+} // namespace idp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Closed-form queueing and positioning expectations.
+ *
+ * A trace-driven simulator is only trustworthy if it reproduces the
+ * textbook results in the regimes where those exist. This module
+ * collects the closed forms the validation tests (and several benches'
+ * sanity notes) compare against:
+ *
+ *  - M/M/1 and M/G/1 (Pollaczek-Khinchine) waiting times, for the
+ *    disk configured into analytically tractable corners;
+ *  - expected rotational latency under k uniformly spaced heads
+ *    (T / 2k) — the heart of the intra-disk parallelism argument;
+ *  - expected random seek distance on a C-cylinder stroke (C/3) —
+ *    why vendors quote "average seek" at one-third stroke.
+ */
+
+#ifndef IDP_ANALYTIC_QUEUEING_HH
+#define IDP_ANALYTIC_QUEUEING_HH
+
+#include <cstdint>
+
+namespace idp {
+namespace analytic {
+
+/** Offered load rho = lambda * E[S]; must be < 1 for stability. */
+double utilization(double lambda, double mean_service);
+
+/** M/M/1 mean time in queue (excluding service). */
+double mm1MeanWait(double lambda, double mean_service);
+
+/**
+ * M/G/1 mean time in queue by Pollaczek-Khinchine:
+ * Wq = lambda * E[S^2] / (2 (1 - rho)).
+ */
+double mg1MeanWait(double lambda, double mean_service,
+                   double second_moment_service);
+
+/** M/D/1 mean time in queue (deterministic service d). */
+double md1MeanWait(double lambda, double d);
+
+/** E[min of k independent U(0, span)] = span / (k + 1). */
+double expectedMinUniform(double span, std::uint32_t k);
+
+/**
+ * Expected rotational latency, ms, for a drive at @p rpm whose k
+ * evenly spaced heads all qualify to read the target sector: the
+ * angular gap to the nearest head is U(0, T/k), so the mean is
+ * T / (2k).
+ */
+double expectedRotLatencyMs(std::uint32_t rpm, std::uint32_t heads);
+
+/**
+ * Expected |X - Y| for X, Y independent U(0, cylinders): the mean
+ * random seek distance, cylinders / 3.
+ */
+double expectedRandomSeekDistance(std::uint32_t cylinders);
+
+/**
+ * First two moments of S = U + c with U ~ U(0, span): the service
+ * time of a zero-seek disk access (uniform rotational wait plus a
+ * constant transfer/overhead part). Used to drive M/G/1 checks.
+ */
+struct TwoMoments
+{
+    double mean = 0.0;
+    double second = 0.0;
+};
+TwoMoments uniformPlusConstantMoments(double span, double constant);
+
+} // namespace analytic
+} // namespace idp
+
+#endif // IDP_ANALYTIC_QUEUEING_HH

@@ -1,0 +1,429 @@
+#include "array/storage_array.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace array {
+
+StorageArray::StorageArray(sim::Simulator &simul,
+                           const ArrayParams &params,
+                           LogicalCompletionFn on_complete)
+    : sim_(simul), params_(params), onComplete_(std::move(on_complete))
+{
+    sim::simAssert(params_.disks >= 1, "array: needs at least one disk");
+    if (params_.layout == Layout::Raid1)
+        sim::simAssert(params_.disks % 2 == 0,
+                       "array: Raid1 needs an even disk count");
+    if (params_.layout == Layout::Raid5)
+        sim::simAssert(params_.disks >= 3,
+                       "array: Raid5 needs at least three disks");
+    if (params_.layout == Layout::Concat)
+        sim::simAssert(params_.disks == 1,
+                       "array: Concat maps everything onto one disk");
+
+    if (params_.useBus)
+        bus_ = std::make_unique<bus::Bus>(sim_, params_.bus);
+
+    disks_.reserve(params_.disks);
+    for (std::uint32_t i = 0; i < params_.disks; ++i) {
+        disks_.push_back(std::make_unique<disk::DiskDrive>(
+            sim_, params_.drive,
+            [this](const workload::IoRequest &req, sim::Tick done,
+                   const disk::ServiceInfo &info) {
+                onSubComplete(req, done, info);
+            }));
+    }
+    diskSectors_ = disks_[0]->geometry().totalSectors();
+    failed_.assign(params_.disks, false);
+
+    switch (params_.layout) {
+      case Layout::PassThrough:
+        logicalSectors_ = diskSectors_ * params_.disks;
+        break;
+      case Layout::Concat: {
+        if (params_.deviceSectors.empty())
+            params_.deviceSectors.push_back(diskSectors_);
+        std::uint64_t off = 0;
+        for (std::uint64_t s : params_.deviceSectors) {
+            deviceOffsets_.push_back(off);
+            off += s;
+        }
+        sim::simAssert(off <= diskSectors_,
+                       "array: Concat devices exceed disk capacity");
+        logicalSectors_ = off;
+        break;
+      }
+      case Layout::Raid0:
+        logicalSectors_ = diskSectors_ * params_.disks;
+        break;
+      case Layout::Raid1:
+        logicalSectors_ = diskSectors_ * (params_.disks / 2);
+        break;
+      case Layout::Raid5:
+        logicalSectors_ = diskSectors_ * (params_.disks - 1);
+        break;
+    }
+}
+
+const disk::DiskDrive &
+StorageArray::diskAt(std::uint32_t i) const
+{
+    sim::simAssert(i < disks_.size(), "array: disk index out of range");
+    return *disks_[i];
+}
+
+void
+StorageArray::failDisk(std::uint32_t idx)
+{
+    sim::simAssert(idx < disks_.size(), "array: bad disk index");
+    sim::simAssert(params_.layout == Layout::Raid1 ||
+                       params_.layout == Layout::Raid5,
+                   "array: layout has no redundancy to degrade into");
+    if (failed_[idx])
+        return;
+    if (params_.layout == Layout::Raid1) {
+        const std::uint32_t mirror = idx ^ 1u;
+        sim::simAssert(!failed_[mirror],
+                       "array: Raid1 pair already lost");
+    } else {
+        std::uint32_t down = 0;
+        for (bool f : failed_)
+            down += f;
+        sim::simAssert(down == 0,
+                       "array: Raid5 tolerates a single failure");
+    }
+    failed_[idx] = true;
+}
+
+bool
+StorageArray::diskFailed(std::uint32_t idx) const
+{
+    sim::simAssert(idx < disks_.size(), "array: bad disk index");
+    return failed_[idx];
+}
+
+void
+StorageArray::failMemberArm(std::uint32_t disk_idx, std::uint32_t arm)
+{
+    sim::simAssert(disk_idx < disks_.size(), "array: bad disk index");
+    disks_[disk_idx]->failArm(arm);
+}
+
+bool
+StorageArray::idle() const
+{
+    if (!joins_.empty())
+        return false;
+    for (const auto &d : disks_)
+        if (!d->idle())
+            return false;
+    return true;
+}
+
+void
+StorageArray::submitSub(std::uint32_t disk_idx, workload::IoRequest sub,
+                        std::uint64_t join_id)
+{
+    sub.id = join_id;
+    sub.arrival = sim_.now();
+    // Defensive clamp: keep every access within the physical disk.
+    if (sub.lba + sub.sectors > diskSectors_) {
+        if (sub.sectors >= diskSectors_)
+            sub.sectors = 1;
+        sub.lba = sub.lba % (diskSectors_ - sub.sectors);
+    }
+    if (bus_ && !sub.isRead) {
+        // Writes move their data over the interconnect first.
+        bus_->transfer(sub.bytes(), [this, disk_idx, sub] {
+            disks_[disk_idx]->submit(sub);
+        });
+        return;
+    }
+    disks_[disk_idx]->submit(sub);
+}
+
+void
+StorageArray::submit(const workload::IoRequest &req)
+{
+    ++stats_.logicalArrivals;
+    const std::uint64_t join_id = nextJoinId_++;
+    Join join;
+    join.logical = req;
+    join.remaining = 0;
+
+    switch (params_.layout) {
+      case Layout::PassThrough: {
+        sim::simAssert(req.device < params_.disks,
+                       "array: device beyond PassThrough disk count");
+        join.remaining = 1;
+        joins_.emplace(join_id, std::move(join));
+        submitSub(req.device, req, join_id);
+        return;
+      }
+      case Layout::Concat: {
+        sim::simAssert(req.device < deviceOffsets_.size(),
+                       "array: device beyond Concat device table");
+        workload::IoRequest sub = req;
+        sub.lba = deviceOffsets_[req.device] + req.lba;
+        sub.device = 0;
+        join.remaining = 1;
+        joins_.emplace(join_id, std::move(join));
+        submitSub(0, sub, join_id);
+        return;
+      }
+      case Layout::Raid0: {
+        fanOutRaid0(req, join_id, join);
+        return;
+      }
+      case Layout::Raid1: {
+        // RAID-10: stripe across mirror pairs.
+        const std::uint32_t pairs = params_.disks / 2;
+        const std::uint64_t stripe = params_.stripeSectors;
+        std::uint64_t lba = req.lba % logicalSectors_;
+        std::uint32_t remaining = req.sectors;
+        std::vector<std::pair<std::uint32_t, workload::IoRequest>> subs;
+        while (remaining > 0) {
+            const std::uint64_t stripe_idx = lba / stripe;
+            const std::uint64_t in_stripe = lba % stripe;
+            const std::uint32_t take = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(remaining, stripe - in_stripe));
+            const std::uint32_t pair =
+                static_cast<std::uint32_t>(stripe_idx % pairs);
+            const std::uint64_t disk_lba =
+                (stripe_idx / pairs) * stripe + in_stripe;
+            workload::IoRequest sub = req;
+            sub.lba = disk_lba;
+            sub.sectors = take;
+            const std::uint32_t a = pair * 2;
+            const std::uint32_t b = pair * 2 + 1;
+            if (req.isRead) {
+                std::uint32_t pick;
+                if (failed_[a])
+                    pick = b;
+                else if (failed_[b])
+                    pick = a;
+                else if (disks_[a]->queueDepth() !=
+                         disks_[b]->queueDepth())
+                    pick = disks_[a]->queueDepth() <
+                            disks_[b]->queueDepth()
+                        ? a
+                        : b;
+                else
+                    pick = (rrRead_++ % 2 == 0) ? a : b;
+                subs.emplace_back(pick, sub);
+            } else {
+                if (!failed_[a])
+                    subs.emplace_back(a, sub);
+                if (!failed_[b])
+                    subs.emplace_back(b, sub);
+            }
+            lba += take;
+            remaining -= take;
+        }
+        join.remaining = static_cast<std::uint32_t>(subs.size());
+        joins_.emplace(join_id, std::move(join));
+        for (auto &[idx, sub] : subs)
+            submitSub(idx, sub, join_id);
+        return;
+      }
+      case Layout::Raid5: {
+        fanOutRaid5(req, join_id, join);
+        return;
+      }
+    }
+}
+
+void
+StorageArray::fanOutRaid0(const workload::IoRequest &req,
+                          std::uint64_t join_id, Join &join)
+{
+    const std::uint64_t stripe = params_.stripeSectors;
+    const std::uint32_t n = params_.disks;
+    std::uint64_t lba = req.lba % logicalSectors_;
+    std::uint32_t remaining = req.sectors;
+    std::vector<std::pair<std::uint32_t, workload::IoRequest>> subs;
+    while (remaining > 0) {
+        const std::uint64_t stripe_idx = lba / stripe;
+        const std::uint64_t in_stripe = lba % stripe;
+        const std::uint32_t take = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(remaining, stripe - in_stripe));
+        const std::uint32_t disk_idx =
+            static_cast<std::uint32_t>(stripe_idx % n);
+        workload::IoRequest sub = req;
+        sub.lba = (stripe_idx / n) * stripe + in_stripe;
+        sub.sectors = take;
+        subs.emplace_back(disk_idx, sub);
+        lba += take;
+        remaining -= take;
+    }
+    join.remaining = static_cast<std::uint32_t>(subs.size());
+    joins_.emplace(join_id, std::move(join));
+    for (auto &[idx, sub] : subs)
+        submitSub(idx, sub, join_id);
+}
+
+void
+StorageArray::fanOutRaid5(const workload::IoRequest &req,
+                          std::uint64_t join_id, Join &join)
+{
+    const std::uint64_t stripe = params_.stripeSectors;
+    const std::uint32_t n = params_.disks;
+    const std::uint32_t data_disks = n - 1;
+    std::uint64_t lba = req.lba % logicalSectors_;
+    std::uint32_t remaining = req.sectors;
+
+    std::vector<std::pair<std::uint32_t, workload::IoRequest>> now_subs;
+    std::vector<std::pair<std::uint32_t, workload::IoRequest>> deferred;
+
+    while (remaining > 0) {
+        const std::uint64_t stripe_idx = lba / stripe;
+        const std::uint64_t in_stripe = lba % stripe;
+        const std::uint32_t take = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(remaining, stripe - in_stripe));
+        const std::uint64_t row = stripe_idx / data_disks;
+        const std::uint32_t parity_disk =
+            static_cast<std::uint32_t>(row % n);
+        // d-th data unit of the row, skipping the parity disk.
+        std::uint32_t d =
+            static_cast<std::uint32_t>(stripe_idx % data_disks);
+        std::uint32_t data_disk = d >= parity_disk ? d + 1 : d;
+        const std::uint64_t disk_lba = row * stripe + in_stripe;
+
+        workload::IoRequest data_sub = req;
+        data_sub.lba = disk_lba;
+        data_sub.sectors = take;
+
+        if (req.isRead) {
+            if (failed_[data_disk]) {
+                // Degraded read: reconstruct from every surviving
+                // member of the row (data peers + parity).
+                for (std::uint32_t m = 0; m < n; ++m) {
+                    if (m == data_disk || failed_[m])
+                        continue;
+                    workload::IoRequest peer = data_sub;
+                    peer.isRead = true;
+                    now_subs.emplace_back(m, peer);
+                }
+            } else {
+                now_subs.emplace_back(data_disk, data_sub);
+            }
+        } else if (failed_[data_disk]) {
+            // Degraded write, data member lost: regenerate parity by
+            // reading the surviving data members, then writing parity.
+            for (std::uint32_t m = 0; m < n; ++m) {
+                if (m == data_disk || m == parity_disk || failed_[m])
+                    continue;
+                workload::IoRequest peer = data_sub;
+                peer.isRead = true;
+                now_subs.emplace_back(m, peer);
+            }
+            if (!failed_[parity_disk]) {
+                workload::IoRequest wp = data_sub;
+                wp.isRead = false;
+                deferred.emplace_back(parity_disk, wp);
+            }
+        } else if (failed_[parity_disk]) {
+            // Parity member lost: plain write of the data unit.
+            now_subs.emplace_back(data_disk, data_sub);
+        } else {
+            // Read-modify-write: read old data and old parity first,
+            // then write new data and new parity.
+            workload::IoRequest rd = data_sub;
+            rd.isRead = true;
+            workload::IoRequest rp = data_sub;
+            rp.isRead = true;
+            now_subs.emplace_back(data_disk, rd);
+            now_subs.emplace_back(parity_disk, rp);
+            workload::IoRequest wp = data_sub;
+            wp.isRead = false;
+            deferred.emplace_back(data_disk, data_sub);
+            deferred.emplace_back(parity_disk, wp);
+        }
+        lba += take;
+        remaining -= take;
+    }
+
+    join.remaining = static_cast<std::uint32_t>(now_subs.size());
+    join.deferred = std::move(deferred);
+    joins_.emplace(join_id, std::move(join));
+    for (auto &[idx, sub] : now_subs)
+        submitSub(idx, sub, join_id);
+}
+
+void
+StorageArray::onSubComplete(const workload::IoRequest &sub,
+                            sim::Tick done,
+                            const disk::ServiceInfo &info)
+{
+    if (!info.cacheHit) {
+        const double rot_ms = sim::ticksToMs(info.rotTicks);
+        stats_.rotMs.add(rot_ms);
+        stats_.rotHist.add(rot_ms);
+    }
+    if (bus_ && sub.isRead) {
+        // Read data returns to the host over the interconnect.
+        const std::uint64_t join_id = sub.id;
+        const std::uint64_t bytes = sub.bytes();
+        bus_->transfer(bytes, [this, join_id] {
+            finishSub(join_id, sim_.now());
+        });
+        return;
+    }
+    finishSub(sub.id, done);
+}
+
+void
+StorageArray::finishSub(std::uint64_t join_id, sim::Tick done)
+{
+    auto it = joins_.find(join_id);
+    sim::simAssert(it != joins_.end(), "array: completion for no join");
+    Join &join = it->second;
+    sim::simAssert(join.remaining > 0, "array: join underflow");
+    --join.remaining;
+    if (join.remaining > 0)
+        return;
+
+    if (!join.deferred.empty()) {
+        auto deferred = std::move(join.deferred);
+        join.deferred.clear();
+        join.remaining = static_cast<std::uint32_t>(deferred.size());
+        for (auto &[idx, sub] : deferred)
+            submitSub(idx, sub, join_id);
+        return;
+    }
+
+    const workload::IoRequest logical = join.logical;
+    joins_.erase(it);
+    ++stats_.logicalCompletions;
+    const double resp_ms = sim::ticksToMs(done - logical.arrival);
+    stats_.responseMs.add(resp_ms);
+    stats_.responseHist.add(resp_ms);
+    if (onComplete_)
+        onComplete_(logical, done);
+}
+
+power::PowerBreakdown
+StorageArray::finishPower()
+{
+    power::PowerBreakdown total;
+    for (auto &d : disks_) {
+        power::PowerModel model(d->spec().power);
+        total.merge(model.integrate(d->finishModeTimes()));
+    }
+    return total;
+}
+
+stats::ModeTimes
+StorageArray::modeTimesSnapshot() const
+{
+    stats::ModeTimes total;
+    for (const auto &d : disks_)
+        total.merge(d->modeTimesSnapshot());
+    return total;
+}
+
+} // namespace array
+} // namespace idp

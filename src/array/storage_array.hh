@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Multi-disk storage node: layouts, request fan-out, and join logic.
+ *
+ * Layouts:
+ *  - PassThrough: request.device selects the physical disk directly;
+ *    models the original traced multi-disk system (MD).
+ *  - Concat: every traced device's block space is laid out
+ *    sequentially on ONE physical disk — the paper's HC-SD migration
+ *    ("HC-SD is populated with all the data from D1, followed by all
+ *    the data in D2, ...").
+ *  - Raid0: striping over all disks (the paper's synthetic-workload
+ *    arrays, Section 7.3).
+ *  - Raid1: mirrored pair-sets; reads go to the replica with the
+ *    shallower queue, writes to both.
+ *  - Raid5: rotating parity; small writes expand into the classic
+ *    read-modify-write (read old data + old parity, then write new
+ *    data + new parity, with the writes dependent on the reads).
+ */
+
+#ifndef IDP_ARRAY_STORAGE_ARRAY_HH
+#define IDP_ARRAY_STORAGE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bus/bus.hh"
+#include "disk/disk_drive.hh"
+#include "power/power_model.hh"
+#include "stats/histogram.hh"
+#include "stats/sampler.hh"
+#include "workload/request.hh"
+
+namespace idp {
+namespace array {
+
+/** Data layout across the array's disks. */
+enum class Layout
+{
+    PassThrough,
+    Concat,
+    Raid0,
+    Raid1,
+    Raid5,
+};
+
+/** Array configuration. */
+struct ArrayParams
+{
+    Layout layout = Layout::PassThrough;
+    std::uint32_t disks = 1;
+    disk::DriveSpec drive;
+    /** Stripe unit for Raid0/Raid5, in sectors (128 = 64 KB). */
+    std::uint32_t stripeSectors = 128;
+    /**
+     * Sectors of each *traced* device (PassThrough bounds checking and
+     * Concat offsets). Empty = derived from the drive capacity.
+     */
+    std::vector<std::uint64_t> deviceSectors;
+
+    /**
+     * Model the host interconnect: writes pay host->drive data
+     * movement before reaching a disk, reads pay drive->host on
+     * completion. Off by default (the paper assumes ample channel
+     * bandwidth; enabling this checks the assumption).
+     */
+    bool useBus = false;
+    bus::BusParams bus;
+};
+
+/** Completion callback for a *logical* request. */
+using LogicalCompletionFn =
+    std::function<void(const workload::IoRequest &, sim::Tick)>;
+
+/** Array-level statistics. */
+struct ArrayStats
+{
+    std::uint64_t logicalArrivals = 0;
+    std::uint64_t logicalCompletions = 0;
+    stats::SampleSet responseMs{1u << 20};
+    stats::Histogram responseHist = stats::makeResponseHistogram();
+    stats::Histogram rotHist = stats::makeRotLatencyHistogram();
+    stats::SampleSet rotMs{1u << 18};
+};
+
+/**
+ * A storage node made of identical disks under one layout.
+ */
+class StorageArray
+{
+  public:
+    StorageArray(sim::Simulator &simul, const ArrayParams &params,
+                 LogicalCompletionFn on_complete = nullptr);
+
+    /** Submit a logical request at the current simulated time. */
+    void submit(const workload::IoRequest &req);
+
+    /** Physical disk count. */
+    std::uint32_t diskCount() const
+    {
+        return static_cast<std::uint32_t>(disks_.size());
+    }
+
+    /** Access one physical disk (stats, tests). */
+    const disk::DiskDrive &diskAt(std::uint32_t i) const;
+
+    /** True when every disk is idle and no join is outstanding. */
+    bool idle() const;
+
+    const ArrayStats &stats() const { return stats_; }
+    const ArrayParams &params() const { return params_; }
+
+    /** Logical capacity exposed by the layout, in sectors. */
+    std::uint64_t logicalSectors() const { return logicalSectors_; }
+
+    /** The host interconnect, when modeled (null otherwise). */
+    const bus::Bus *hostBus() const { return bus_.get(); }
+
+    /**
+     * Take disk @p idx offline (degraded-mode operation). Only the
+     * redundant layouts survive this: Raid1 serves from the mirror,
+     * Raid5 reconstructs reads from the surviving row members and
+     * maintains parity-only writes. Fatal on layouts with no
+     * redundancy, or when redundancy is already exhausted.
+     */
+    void failDisk(std::uint32_t idx);
+
+    /** True if disk @p idx is offline. */
+    bool diskFailed(std::uint32_t idx) const;
+
+    /**
+     * Deconfigure one arm assembly of member @p disk_idx (Section 8
+     * graceful degradation inside a member drive). Forwards to
+     * DiskDrive::failArm.
+     */
+    void failMemberArm(std::uint32_t disk_idx, std::uint32_t arm);
+
+    /**
+     * Close every disk's mode accounting and integrate power over the
+     * run. Call once, after the simulation completes.
+     */
+    power::PowerBreakdown finishPower();
+
+    /** Aggregate mode times over all disks (must follow finishPower
+     *  pattern: uses snapshots, safe to call anytime). */
+    stats::ModeTimes modeTimesSnapshot() const;
+
+  private:
+    struct Join
+    {
+        workload::IoRequest logical;
+        std::uint32_t remaining = 0;
+        /** Raid5 RMW: writes to issue once the reads complete. */
+        std::vector<std::pair<std::uint32_t, workload::IoRequest>>
+            deferred;
+    };
+
+    sim::Simulator &sim_;
+    ArrayParams params_;
+    LogicalCompletionFn onComplete_;
+    std::vector<std::unique_ptr<disk::DiskDrive>> disks_;
+    std::unique_ptr<bus::Bus> bus_;
+    std::vector<std::uint64_t> deviceOffsets_; // Concat layout
+    std::uint64_t diskSectors_ = 0;
+    std::uint64_t logicalSectors_ = 0;
+    std::uint64_t nextJoinId_ = 1;
+    std::unordered_map<std::uint64_t, Join> joins_;
+    std::uint64_t rrRead_ = 0; // Raid1 tie-break
+    std::vector<bool> failed_;
+    ArrayStats stats_;
+
+    void submitSub(std::uint32_t disk_idx, workload::IoRequest sub,
+                   std::uint64_t join_id);
+    void onSubComplete(const workload::IoRequest &sub, sim::Tick done,
+                       const disk::ServiceInfo &info);
+    void finishSub(std::uint64_t join_id, sim::Tick done);
+    void fanOutRaid0(const workload::IoRequest &req,
+                     std::uint64_t join_id, Join &join);
+    void fanOutRaid5(const workload::IoRequest &req,
+                     std::uint64_t join_id, Join &join);
+};
+
+} // namespace array
+} // namespace idp
+
+#endif // IDP_ARRAY_STORAGE_ARRAY_HH

@@ -1,0 +1,189 @@
+#include "config/ini.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace config {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+[[noreturn]] void
+parseError(std::size_t line_no, const std::string &line,
+           const std::string &why)
+{
+    std::ostringstream msg;
+    msg << "config line " << line_no << ": " << why << ": " << line;
+    sim::fatal(msg.str());
+}
+
+} // namespace
+
+IniFile
+IniFile::parse(std::istream &is)
+{
+    IniFile ini;
+    std::string line;
+    std::string section;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        // Strip comments (full-line or trailing).
+        const std::size_t hash = line.find_first_of("#;");
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        const std::string text = trim(line);
+        if (text.empty())
+            continue;
+        if (text.front() == '[') {
+            if (text.back() != ']' || text.size() < 3)
+                parseError(line_no, text, "malformed section header");
+            section = trim(text.substr(1, text.size() - 2));
+            if (ini.sections_.find(section) == ini.sections_.end())
+                ini.sectionOrder_.push_back(section);
+            ini.sections_[section]; // create
+            continue;
+        }
+        const std::size_t eq = text.find('=');
+        if (eq == std::string::npos)
+            parseError(line_no, text, "expected key = value");
+        if (section.empty())
+            parseError(line_no, text, "key before any [section]");
+        const std::string key = trim(text.substr(0, eq));
+        const std::string value = trim(text.substr(eq + 1));
+        if (key.empty())
+            parseError(line_no, text, "empty key");
+        Section &sec = ini.sections_[section];
+        if (sec.values.count(key))
+            parseError(line_no, text, "duplicate key '" + key + "'");
+        sec.values[key] = value;
+        sec.keyOrder.push_back(key);
+    }
+    return ini;
+}
+
+IniFile
+IniFile::parseFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        sim::fatal("cannot open config file: " + path);
+    return parse(is);
+}
+
+IniFile
+IniFile::parseString(const std::string &text)
+{
+    std::istringstream is(text);
+    return parse(is);
+}
+
+bool
+IniFile::has(const std::string &section, const std::string &key) const
+{
+    const auto it = sections_.find(section);
+    return it != sections_.end() && it->second.values.count(key) > 0;
+}
+
+std::string
+IniFile::get(const std::string &section, const std::string &key,
+             const std::string &fallback) const
+{
+    const auto it = sections_.find(section);
+    if (it == sections_.end())
+        return fallback;
+    const auto kit = it->second.values.find(key);
+    return kit == it->second.values.end() ? fallback : kit->second;
+}
+
+double
+IniFile::getDouble(const std::string &section, const std::string &key,
+                   double fallback) const
+{
+    if (!has(section, key))
+        return fallback;
+    const std::string raw = get(section, key);
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(raw, &used);
+        if (used != raw.size())
+            throw std::invalid_argument(raw);
+        return v;
+    } catch (const std::exception &) {
+        sim::fatal("config [" + section + "] " + key +
+                   ": not a number: " + raw);
+    }
+}
+
+std::int64_t
+IniFile::getInt(const std::string &section, const std::string &key,
+                std::int64_t fallback) const
+{
+    if (!has(section, key))
+        return fallback;
+    const std::string raw = get(section, key);
+    try {
+        std::size_t used = 0;
+        const std::int64_t v = std::stoll(raw, &used);
+        if (used != raw.size())
+            throw std::invalid_argument(raw);
+        return v;
+    } catch (const std::exception &) {
+        sim::fatal("config [" + section + "] " + key +
+                   ": not an integer: " + raw);
+    }
+}
+
+bool
+IniFile::getBool(const std::string &section, const std::string &key,
+                 bool fallback) const
+{
+    if (!has(section, key))
+        return fallback;
+    std::string raw = get(section, key);
+    std::transform(raw.begin(), raw.end(), raw.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (raw == "true" || raw == "yes" || raw == "on" || raw == "1")
+        return true;
+    if (raw == "false" || raw == "no" || raw == "off" || raw == "0")
+        return false;
+    sim::fatal("config [" + section + "] " + key +
+               ": not a boolean: " + raw);
+}
+
+std::string
+IniFile::require(const std::string &section,
+                 const std::string &key) const
+{
+    if (!has(section, key))
+        sim::fatal("config: missing required [" + section + "] " +
+                   key);
+    return get(section, key);
+}
+
+std::vector<std::string>
+IniFile::keys(const std::string &section) const
+{
+    const auto it = sections_.find(section);
+    if (it == sections_.end())
+        return {};
+    return it->second.keyOrder;
+}
+
+} // namespace config
+} // namespace idp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal INI configuration parser for the idpsim front end.
+ *
+ * Grammar (a strict subset of common INI dialects):
+ *
+ *   # comment            ; both comment markers accepted
+ *   [section]
+ *   key = value          ; whitespace around tokens is trimmed
+ *
+ * Keys are unique within a section (later duplicates are fatal, to
+ * catch config typos loudly, in the spirit of fatal() for user
+ * errors). Lookups are case-sensitive.
+ */
+
+#ifndef IDP_CONFIG_INI_HH
+#define IDP_CONFIG_INI_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace idp {
+namespace config {
+
+/** Parsed INI document. */
+class IniFile
+{
+  public:
+    /** Parse from a stream. Fatal on malformed input. */
+    static IniFile parse(std::istream &is);
+
+    /** Parse a file by path. Fatal on I/O errors. */
+    static IniFile parseFile(const std::string &path);
+
+    /** Parse from a string (tests, inline configs). */
+    static IniFile parseString(const std::string &text);
+
+    /** True if [section] key exists. */
+    bool has(const std::string &section,
+             const std::string &key) const;
+
+    /** Raw string value; @p fallback when absent. */
+    std::string get(const std::string &section, const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /** Numeric/boolean accessors; fatal on unparseable values. */
+    double getDouble(const std::string &section,
+                     const std::string &key, double fallback) const;
+    std::int64_t getInt(const std::string &section,
+                        const std::string &key,
+                        std::int64_t fallback) const;
+    bool getBool(const std::string &section, const std::string &key,
+                 bool fallback) const;
+
+    /** Value that must exist; fatal otherwise. */
+    std::string require(const std::string &section,
+                        const std::string &key) const;
+
+    /** Section names, in first-seen order. */
+    const std::vector<std::string> &sections() const
+    {
+        return sectionOrder_;
+    }
+
+    /** Keys of one section, in first-seen order. */
+    std::vector<std::string> keys(const std::string &section) const;
+
+  private:
+    struct Section
+    {
+        std::map<std::string, std::string> values;
+        std::vector<std::string> keyOrder;
+    };
+
+    std::map<std::string, Section> sections_;
+    std::vector<std::string> sectionOrder_;
+};
+
+} // namespace config
+} // namespace idp
+
+#endif // IDP_CONFIG_INI_HH

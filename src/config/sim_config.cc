@@ -1,0 +1,201 @@
+#include "config/sim_config.hh"
+
+#include "sim/logging.hh"
+#include "workload/commercial.hh"
+#include "workload/synthetic.hh"
+#include "workload/trace_io.hh"
+
+namespace idp {
+namespace config {
+
+namespace {
+
+workload::Commercial
+commercialFromName(const std::string &name)
+{
+    if (name == "financial")
+        return workload::Commercial::Financial;
+    if (name == "websearch")
+        return workload::Commercial::Websearch;
+    if (name == "tpcc")
+        return workload::Commercial::TpcC;
+    if (name == "tpch")
+        return workload::Commercial::TpcH;
+    sim::fatal("config: unknown commercial workload: " + name);
+}
+
+} // namespace
+
+disk::DriveSpec
+driveFromIni(const IniFile &ini, disk::DriveSpec base)
+{
+    const std::string s = "drive";
+    base.rpm = static_cast<std::uint32_t>(
+        ini.getInt(s, "rpm", base.rpm));
+    if (ini.has(s, "capacity_gb"))
+        base.geometry.capacityBytes = static_cast<std::uint64_t>(
+            ini.getDouble(s, "capacity_gb", 0.0) * 1e9);
+    base.geometry.platters = static_cast<std::uint32_t>(
+        ini.getInt(s, "platters", base.geometry.platters));
+    if (ini.has(s, "cache_mb"))
+        base.cache.cacheBytes = static_cast<std::uint64_t>(
+            ini.getDouble(s, "cache_mb", 8.0) * 1024 * 1024);
+    base.dash.armAssemblies = static_cast<std::uint32_t>(
+        ini.getInt(s, "actuators", base.dash.armAssemblies));
+    base.dash.headsPerArm = static_cast<std::uint32_t>(
+        ini.getInt(s, "heads_per_arm", base.dash.headsPerArm));
+    base.dash.surfaces = static_cast<std::uint32_t>(
+        ini.getInt(s, "surfaces", base.dash.surfaces));
+    if (ini.has(s, "policy"))
+        base.sched.policy =
+            sched::policyFromString(ini.get(s, "policy"));
+    base.schedWindow = static_cast<std::uint32_t>(
+        ini.getInt(s, "window", base.schedWindow));
+    base.seek.singleCylinderMs =
+        ini.getDouble(s, "seek_single_ms", base.seek.singleCylinderMs);
+    base.seek.averageMs =
+        ini.getDouble(s, "seek_avg_ms", base.seek.averageMs);
+    base.seek.fullStrokeMs =
+        ini.getDouble(s, "seek_full_ms", base.seek.fullStrokeMs);
+    base.power.platterDiameterIn = ini.getDouble(
+        s, "platter_diameter_in", base.power.platterDiameterIn);
+    base.seekScale = ini.getDouble(s, "seek_scale", base.seekScale);
+    base.rotScale = ini.getDouble(s, "rot_scale", base.rotScale);
+    base.cache.writeBack =
+        ini.getBool(s, "write_back", base.cache.writeBack);
+    base.maxConcurrentSeeks = static_cast<std::uint32_t>(ini.getInt(
+        s, "max_concurrent_seeks", base.maxConcurrentSeeks));
+    base.maxConcurrentTransfers = static_cast<std::uint32_t>(
+        ini.getInt(s, "max_concurrent_transfers",
+                   base.maxConcurrentTransfers));
+    base.zeroLatencyAccess =
+        ini.getBool(s, "zero_latency", base.zeroLatencyAccess);
+    base.coalesce = ini.getBool(s, "coalesce", base.coalesce);
+    base.mediaRetryRate =
+        ini.getDouble(s, "media_retry_rate", base.mediaRetryRate);
+    base.spinDownAfterMs =
+        ini.getDouble(s, "spin_down_after_ms", base.spinDownAfterMs);
+    base.spinUpMs = ini.getDouble(s, "spin_up_ms", base.spinUpMs);
+    base.maxRetries = static_cast<std::uint32_t>(
+        ini.getInt(s, "max_retries", base.maxRetries));
+    // seek_curve = d1:ms1,d2:ms2,... (measured profile)
+    if (ini.has(s, "seek_curve")) {
+        base.seek.curvePoints.clear();
+        std::string raw = ini.get(s, "seek_curve");
+        std::size_t pos = 0;
+        while (pos < raw.size()) {
+            std::size_t comma = raw.find(',', pos);
+            if (comma == std::string::npos)
+                comma = raw.size();
+            const std::string token = raw.substr(pos, comma - pos);
+            const std::size_t colon = token.find(':');
+            if (colon == std::string::npos)
+                sim::fatal("config [drive] seek_curve: expected "
+                           "dist:ms pairs, got " + token);
+            base.seek.curvePoints.emplace_back(
+                static_cast<std::uint32_t>(
+                    std::stoul(token.substr(0, colon))),
+                std::stod(token.substr(colon + 1)));
+            pos = comma + 1;
+        }
+    }
+    base.normalize();
+    return base;
+}
+
+workload::Trace
+traceFromIni(const IniFile &ini)
+{
+    const std::string s = "workload";
+    const std::string kind = ini.get(s, "kind", "synthetic");
+    const std::uint64_t requests = static_cast<std::uint64_t>(
+        ini.getInt(s, "requests", 100000));
+
+    if (kind == "synthetic") {
+        workload::SyntheticParams p;
+        p.requests = requests;
+        p.meanInterArrivalMs =
+            ini.getDouble(s, "inter_arrival_ms", 4.0);
+        p.readFraction = ini.getDouble(s, "read_fraction", 0.6);
+        p.sequentialFraction =
+            ini.getDouble(s, "sequential_fraction", 0.2);
+        p.minSectors = static_cast<std::uint32_t>(
+            ini.getDouble(s, "min_kb", 4.0) * 2.0);
+        p.maxSectors = static_cast<std::uint32_t>(
+            ini.getDouble(s, "max_kb", 32.0) * 2.0);
+        if (ini.has(s, "address_gb"))
+            p.addressSpaceSectors = static_cast<std::uint64_t>(
+                ini.getDouble(s, "address_gb", 700.0) * 1e9 / 512.0);
+        p.seed = static_cast<std::uint64_t>(
+            ini.getInt(s, "seed", 0x5EED5EED));
+        return workload::generateSynthetic(p);
+    }
+    if (kind == "file") {
+        return workload::readTraceFile(ini.require(s, "trace_file"));
+    }
+    workload::CommercialParams p;
+    p.kind = commercialFromName(kind);
+    p.requests = requests;
+    p.intensityScale = ini.getDouble(s, "intensity", 1.0);
+    p.seed =
+        static_cast<std::uint64_t>(ini.getInt(s, "seed", 0));
+    return workload::generateCommercial(p);
+}
+
+Experiment
+experimentFromIni(const IniFile &ini)
+{
+    Experiment exp;
+    exp.name = ini.get("run", "name", "run");
+    exp.trace = traceFromIni(ini);
+
+    const std::string layout =
+        ini.get("system", "layout", "single");
+    const std::string kind = ini.get("workload", "kind", "synthetic");
+    const std::uint32_t disks = static_cast<std::uint32_t>(
+        ini.getInt("system", "disks", 1));
+
+    if (layout == "md" || layout == "hcsd") {
+        sim::simAssert(kind != "synthetic" && kind != "file",
+                       "config: md/hcsd layouts need a commercial "
+                       "workload kind");
+        const workload::Commercial c = commercialFromName(kind);
+        exp.system = layout == "md" ? core::makeMdSystem(c)
+                                    : core::makeHcsdSystem(c);
+        // Apply [drive] overrides on top of the builder's defaults.
+        exp.system.array.drive =
+            driveFromIni(ini, exp.system.array.drive);
+    } else {
+        const disk::DriveSpec drive =
+            driveFromIni(ini, disk::barracudaEs750());
+        if (layout == "single") {
+            exp.system = core::makeRaid0System(exp.name, drive, 1);
+        } else if (layout == "raid0") {
+            exp.system = core::makeRaid0System(exp.name, drive, disks);
+        } else if (layout == "raid1" || layout == "raid5") {
+            exp.system.name = exp.name;
+            exp.system.array.layout = layout == "raid1"
+                ? array::Layout::Raid1
+                : array::Layout::Raid5;
+            exp.system.array.disks = disks;
+            exp.system.array.drive = drive;
+        } else {
+            sim::fatal("config: unknown [system] layout: " + layout);
+        }
+        if (ini.has("system", "stripe_kb"))
+            exp.system.array.stripeSectors =
+                static_cast<std::uint32_t>(
+                    ini.getDouble("system", "stripe_kb", 64.0) * 2.0);
+    }
+
+    exp.system.array.useBus =
+        ini.getBool("system", "use_bus", false);
+    exp.system.array.bus.bandwidthMBps =
+        ini.getDouble("system", "bus_mbps", 300.0);
+    exp.system.array.bus.channels = static_cast<std::uint32_t>(
+        ini.getInt("system", "bus_channels", 1));
+    return exp;
+}
+
+} // namespace config
+} // namespace idp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Build experiment objects from an INI configuration — the idpsim
+ * front end's glue (DiskSim's "parv file" role).
+ *
+ * Recognized sections and keys (all optional unless noted):
+ *
+ *   [drive]   rpm, capacity_gb, platters, cache_mb, actuators,
+ *             heads_per_arm, surfaces, policy (fcfs|sstf|clook|sptf|
+ *             sptf-aged), window, seek_single_ms, seek_avg_ms,
+ *             seek_full_ms, platter_diameter_in, seek_scale,
+ *             rot_scale, write_back, max_concurrent_seeks,
+ *             max_concurrent_transfers, zero_latency, coalesce,
+ *             media_retry_rate, max_retries, seek_curve (d:ms,...),
+ *             spin_down_after_ms, spin_up_ms
+ *   [system]  layout (single|raid0|raid1|raid5|md|hcsd), disks,
+ *             stripe_kb, use_bus, bus_mbps, bus_channels
+ *   [workload] kind (synthetic|financial|websearch|tpcc|tpch|file),
+ *             requests, inter_arrival_ms, read_fraction,
+ *             sequential_fraction, min_kb, max_kb, address_gb, seed,
+ *             intensity, trace_file (kind=file, required)
+ *   [run]     name
+ *
+ * The md/hcsd layouts require a commercial workload kind and build
+ * the paper's Table 2 systems; [drive] overrides are applied on top
+ * of the defaults for every layout.
+ */
+
+#ifndef IDP_CONFIG_SIM_CONFIG_HH
+#define IDP_CONFIG_SIM_CONFIG_HH
+
+#include <string>
+
+#include "config/ini.hh"
+#include "core/experiment.hh"
+#include "workload/request.hh"
+
+namespace idp {
+namespace config {
+
+/** A fully assembled run: name, system, workload. */
+struct Experiment
+{
+    std::string name = "run";
+    core::SystemConfig system;
+    workload::Trace trace;
+};
+
+/** Drive spec from [drive] overrides applied to @p base. */
+disk::DriveSpec driveFromIni(const IniFile &ini,
+                             disk::DriveSpec base);
+
+/** Trace from [workload]. */
+workload::Trace traceFromIni(const IniFile &ini);
+
+/** Complete experiment from the whole file. */
+Experiment experimentFromIni(const IniFile &ini);
+
+} // namespace config
+} // namespace idp
+
+#endif // IDP_CONFIG_SIM_CONFIG_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Closed-loop workload driver.
+ *
+ * The paper's traces are open-loop (arrivals don't react to service),
+ * which is the right model for consolidation what-ifs; interactive
+ * systems, however, are closed: N users each think for a while, issue
+ * one request, and wait for it. This driver runs N workers against a
+ * storage system until a horizon, which (a) models OLTP user
+ * populations, and (b) gives the validation suite the interactive
+ * response-time law N = X * (R + Z) to check the simulator against.
+ */
+
+#ifndef IDP_CORE_CLOSED_LOOP_HH
+#define IDP_CORE_CLOSED_LOOP_HH
+
+#include <cstdint>
+
+#include "core/experiment.hh"
+
+namespace idp {
+namespace core {
+
+/** Closed-loop population parameters. */
+struct ClosedLoopParams
+{
+    std::uint32_t workers = 8;
+    /** Mean think time between a completion and the next issue, ms. */
+    double thinkMs = 20.0;
+    /** Run horizon, simulated seconds. */
+    double horizonSeconds = 30.0;
+    double readFraction = 0.6;
+    std::uint32_t minSectors = 8;
+    std::uint32_t maxSectors = 64;
+    /** Logical region the workers address (defaults to the system). */
+    std::uint64_t addressSpaceSectors = 0;
+    std::uint64_t seed = 0xC105ED;
+};
+
+/** Results of a closed-loop run. */
+struct ClosedLoopResult
+{
+    std::uint64_t completions = 0;
+    double horizonSeconds = 0.0;
+    double throughputIops = 0.0;
+    double meanResponseMs = 0.0;
+    double p90ResponseMs = 0.0;
+    power::PowerBreakdown power;
+
+    /**
+     * The interactive response-time law's prediction of the worker
+     * count from measured X, R and the configured think time Z:
+     * N = X * (R + Z). Should match params.workers in steady state.
+     */
+    double impliedWorkers(double think_ms) const;
+};
+
+/** Run a closed-loop population against @p config. */
+ClosedLoopResult runClosedLoop(const SystemConfig &config,
+                               const ClosedLoopParams &params);
+
+} // namespace core
+} // namespace idp
+
+#endif // IDP_CORE_CLOSED_LOOP_HH

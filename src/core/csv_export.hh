@@ -1,0 +1,45 @@
+/**
+ * @file
+ * CSV export of run results, for downstream plotting.
+ *
+ * Bench binaries print paper-style text tables; for regenerating the
+ * figures graphically, these helpers dump the same series as CSV —
+ * one row per CDF/PDF bucket with one column per system, plus a flat
+ * summary file. The benches honour IDP_CSV_DIR: when set, each bench
+ * drops its series there.
+ */
+
+#ifndef IDP_CORE_CSV_EXPORT_HH
+#define IDP_CORE_CSV_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace idp {
+namespace core {
+
+/** Write response-time CDF rows (edge, one column per system). */
+void writeCdfCsv(const std::string &path,
+                 const std::vector<RunResult> &results);
+
+/** Write rotational-latency PDF rows. */
+void writeRotPdfCsv(const std::string &path,
+                    const std::vector<RunResult> &results);
+
+/** Write one summary row per system (perf + power breakdown). */
+void writeSummaryCsv(const std::string &path,
+                     const std::vector<RunResult> &results);
+
+/**
+ * Bench helper: when IDP_CSV_DIR is set, write all three files as
+ * <dir>/<stem>_{cdf,rotpdf,summary}.csv and return true.
+ */
+bool maybeExportCsv(const std::string &stem,
+                    const std::vector<RunResult> &results);
+
+} // namespace core
+} // namespace idp
+
+#endif // IDP_CORE_CSV_EXPORT_HH

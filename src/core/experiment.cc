@@ -1,0 +1,156 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace idp {
+namespace core {
+
+std::uint64_t
+traceDeviceSectors(const workload::WorkloadModel &model)
+{
+    return static_cast<std::uint64_t>(model.capacityGB * 1e9 /
+                                      geom::kSectorBytes);
+}
+
+SystemConfig
+makeMdSystem(workload::Commercial kind)
+{
+    const auto &model = workload::workloadModel(kind);
+    SystemConfig config;
+    config.name = "MD";
+    config.array.layout = array::Layout::PassThrough;
+    config.array.disks = model.disks;
+    config.array.drive = disk::enterpriseDrive(
+        model.capacityGB, model.rpm, model.platters);
+    return config;
+}
+
+SystemConfig
+makeHcsdSystem(workload::Commercial kind)
+{
+    const auto &model = workload::workloadModel(kind);
+    SystemConfig config;
+    config.name = "HC-SD";
+    config.array.layout = array::Layout::Concat;
+    config.array.disks = 1;
+    config.array.drive = disk::barracudaEs750();
+    config.array.deviceSectors.assign(model.disks,
+                                      traceDeviceSectors(model));
+    return config;
+}
+
+SystemConfig
+makeSaSystem(workload::Commercial kind, std::uint32_t actuators,
+             std::uint32_t rpm)
+{
+    SystemConfig config = makeHcsdSystem(kind);
+    disk::DriveSpec drive =
+        disk::makeIntraDiskParallel(disk::barracudaEs750(), actuators);
+    if (rpm != drive.rpm)
+        drive = disk::withRpm(drive, rpm);
+    config.array.drive = drive;
+    config.name = drive.name;
+    return config;
+}
+
+SystemConfig
+makeRaid0System(const std::string &name, const disk::DriveSpec &drive,
+                std::uint32_t disks, std::uint32_t stripe_sectors)
+{
+    SystemConfig config;
+    config.name = name;
+    config.array.layout = disks == 1 ? array::Layout::Concat
+                                     : array::Layout::Raid0;
+    config.array.disks = disks;
+    config.array.drive = drive;
+    config.array.stripeSectors = stripe_sectors;
+    if (disks == 1) {
+        // Degenerate single-drive "array": whole disk as one device.
+        config.array.deviceSectors.clear();
+    }
+    return config;
+}
+
+RunResult
+runTrace(const workload::Trace &trace, const SystemConfig &config)
+{
+    sim::simAssert(!trace.empty(), "runTrace: empty trace");
+
+    sim::Simulator simul;
+    array::StorageArray arr(simul, config.array);
+
+    // Feed arrivals incrementally so the event queue stays small even
+    // for multi-million-request traces.
+    std::size_t next = 0;
+    std::function<void()> feed = [&] {
+        const workload::IoRequest &req = trace[next];
+        ++next;
+        if (next < trace.size())
+            simul.schedule(trace[next].arrival, feed);
+        arr.submit(req);
+    };
+    simul.schedule(trace.front().arrival, feed);
+    simul.run();
+
+    sim::simAssert(arr.idle(), "runTrace: array not drained");
+    sim::simAssert(arr.stats().logicalCompletions == trace.size(),
+                   "runTrace: lost requests");
+
+    RunResult result;
+    result.system = config.name;
+    result.requests = trace.size();
+    result.completions = arr.stats().logicalCompletions;
+    result.wallSeconds = sim::ticksToSeconds(simul.now());
+    result.responseHist = arr.stats().responseHist;
+    result.rotHist = arr.stats().rotHist;
+    result.meanResponseMs = arr.stats().responseMs.mean();
+    result.p90ResponseMs = arr.stats().responseMs.p90();
+    result.p99ResponseMs = arr.stats().responseMs.p99();
+    result.meanRotMs = arr.stats().rotMs.mean();
+    result.power = arr.finishPower();
+
+    std::uint64_t nonzero = 0;
+    for (std::uint32_t i = 0; i < arr.diskCount(); ++i) {
+        const auto &ds = arr.diskAt(i).stats();
+        result.cacheHits += ds.cacheHits;
+        result.mediaAccesses += ds.mediaAccesses;
+        result.mediaRetries += ds.mediaRetries;
+        result.hardErrors += ds.hardErrors;
+        nonzero += ds.nonzeroSeeks;
+    }
+    result.nonzeroSeekFraction = result.mediaAccesses
+        ? static_cast<double>(nonzero) /
+            static_cast<double>(result.mediaAccesses)
+        : 0.0;
+    result.throughputIops = result.wallSeconds > 0.0
+        ? static_cast<double>(result.completions) / result.wallSeconds
+        : 0.0;
+    return result;
+}
+
+std::uint64_t
+benchRequestCount(std::uint64_t default_requests)
+{
+    if (const char *env = std::getenv("IDP_REQUESTS")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            return static_cast<std::uint64_t>(v);
+    }
+    double scale = 1.0;
+    if (const char *env = std::getenv("IDP_SCALE")) {
+        scale = std::atof(env);
+        if (scale < 0.01)
+            scale = 0.01;
+    }
+    const double scaled =
+        static_cast<double>(default_requests) * scale;
+    return std::max<std::uint64_t>(
+        1000, static_cast<std::uint64_t>(scaled));
+}
+
+} // namespace core
+} // namespace idp

@@ -1,0 +1,117 @@
+#include "core/report.hh"
+
+#include <sstream>
+
+#include "stats/table.hh"
+
+namespace idp {
+namespace core {
+
+using stats::fmt;
+using stats::TextTable;
+
+void
+printResponseCdf(std::ostream &os, const std::string &title,
+                 const std::vector<RunResult> &results)
+{
+    TextTable table(title);
+    std::vector<std::string> header = {"RespTime(ms)"};
+    for (const auto &r : results)
+        header.push_back(r.system);
+    table.setHeader(header);
+
+    if (results.empty())
+        return;
+    const auto &edges = stats::paperResponseEdgesMs();
+    for (std::size_t b = 0; b <= edges.size(); ++b) {
+        std::vector<std::string> row;
+        if (b < edges.size())
+            row.push_back(fmt(edges[b], 0));
+        else
+            row.push_back("200+");
+        for (const auto &r : results)
+            row.push_back(fmt(r.responseHist.cdfAt(b), 3));
+        table.addRow(row);
+    }
+    table.print(os);
+    os << '\n';
+}
+
+void
+printRotPdf(std::ostream &os, const std::string &title,
+            const std::vector<RunResult> &results)
+{
+    TextTable table(title);
+    std::vector<std::string> header = {"RotLat(ms)"};
+    for (const auto &r : results)
+        header.push_back(r.system);
+    table.setHeader(header);
+
+    if (results.empty())
+        return;
+    const std::size_t buckets = results.front().rotHist.buckets();
+    for (std::size_t b = 0; b < buckets; ++b) {
+        std::vector<std::string> row;
+        const double edge = results.front().rotHist.upperEdge(b);
+        if (b + 1 < buckets) {
+            std::ostringstream label;
+            label << "<=" << fmt(edge, 0);
+            row.push_back(label.str());
+        } else {
+            row.push_back("more");
+        }
+        for (const auto &r : results)
+            row.push_back(fmt(r.rotHist.pdfAt(b), 3));
+        table.addRow(row);
+    }
+    table.print(os);
+    os << '\n';
+}
+
+void
+printPowerBreakdown(std::ostream &os, const std::string &title,
+                    const std::vector<RunResult> &results)
+{
+    TextTable table(title);
+    table.setHeader({"System", "Idle(W)", "Seek(W)", "RotLat(W)",
+                     "Transfer(W)", "Total(W)"});
+    for (const auto &r : results) {
+        table.addRow({
+            r.system,
+            fmt(r.power.modeAvgW(stats::DiskMode::Idle), 2),
+            fmt(r.power.modeAvgW(stats::DiskMode::Seek), 2),
+            fmt(r.power.modeAvgW(stats::DiskMode::RotWait), 2),
+            fmt(r.power.modeAvgW(stats::DiskMode::Transfer), 2),
+            fmt(r.power.totalAvgW(), 2),
+        });
+    }
+    table.print(os);
+    os << '\n';
+}
+
+void
+printSummary(std::ostream &os, const std::string &title,
+             const std::vector<RunResult> &results)
+{
+    TextTable table(title);
+    table.setHeader({"System", "Mean(ms)", "P90(ms)", "P99(ms)",
+                     "MeanRot(ms)", "IOPS", "NonzeroSeek",
+                     "AvgPower(W)"});
+    for (const auto &r : results) {
+        table.addRow({
+            r.system,
+            fmt(r.meanResponseMs, 2),
+            fmt(r.p90ResponseMs, 2),
+            fmt(r.p99ResponseMs, 2),
+            fmt(r.meanRotMs, 2),
+            fmt(r.throughputIops, 0),
+            stats::fmtPct(r.nonzeroSeekFraction, 1),
+            fmt(r.power.totalAvgW(), 2),
+        });
+    }
+    table.print(os);
+    os << '\n';
+}
+
+} // namespace core
+} // namespace idp

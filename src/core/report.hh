@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Rendering helpers shared by the bench harnesses.
+ *
+ * The benches regenerate the paper's figures as terminal tables: CDFs
+ * over the paper's response-time buckets (Figures 2, 4, 5, 7),
+ * rotational-latency PDFs (Figure 5), four-mode power stacks (Figures
+ * 3, 6), and iso-performance summaries (Figures 8, 9).
+ */
+
+#ifndef IDP_CORE_REPORT_HH
+#define IDP_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace idp {
+namespace core {
+
+/** Print response-time CDFs, one column per system. */
+void printResponseCdf(std::ostream &os, const std::string &title,
+                      const std::vector<RunResult> &results);
+
+/** Print rotational-latency PDFs, one column per system. */
+void printRotPdf(std::ostream &os, const std::string &title,
+                 const std::vector<RunResult> &results);
+
+/** Print the four-mode average-power breakdown, one row per system. */
+void printPowerBreakdown(std::ostream &os, const std::string &title,
+                         const std::vector<RunResult> &results);
+
+/** One-line performance summary per system (mean/p90/p99, IOPS). */
+void printSummary(std::ostream &os, const std::string &title,
+                  const std::vector<RunResult> &results);
+
+} // namespace core
+} // namespace idp
+
+#endif // IDP_CORE_REPORT_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Component-cost model for intra-disk parallel drives (Section 9).
+ *
+ * Encodes Table 9(a): per-component volume prices the authors obtained
+ * from disk-industry suppliers (US Fuji Electric, Nidec, H2W,
+ * Hutchinson, Hitachi Metals, NMB, STMicroelectronics), with low/high
+ * ranges, and how each component's count scales with the actuator
+ * count in a four-platter drive. Figure 9(b) compares the material
+ * cost of iso-performance configurations: 4 conventional drives vs
+ * 2 dual-actuator drives vs 1 quad-actuator drive.
+ */
+
+#ifndef IDP_COST_COST_MODEL_HH
+#define IDP_COST_COST_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace idp {
+namespace cost {
+
+/** Closed price interval in dollars. */
+struct PriceRange
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    double mid() const { return (lo + hi) / 2.0; }
+
+    PriceRange
+    scaled(double k) const
+    {
+        return {lo * k, hi * k};
+    }
+
+    PriceRange
+    plus(const PriceRange &o) const
+    {
+        return {lo + o.lo, hi + o.hi};
+    }
+};
+
+/**
+ * One Table 9(a) component row.
+ *
+ * Unit count in an n-actuator, 4-platter drive:
+ *   units(n) = fixedCount + perActuator * n + perExtraActuator * (n-1)
+ *
+ * Media and spindle are fixed; heads/suspensions/pivots/VCMs/preamps
+ * replicate per actuator; the motor driver has a base part plus a
+ * cheaper incremental channel per extra actuator (which is exactly how
+ * the paper's 2- and 4-actuator columns work out).
+ */
+struct ComponentCost
+{
+    std::string name;
+    PriceRange unitPrice;
+    std::uint32_t fixedCount = 0;
+    std::uint32_t perActuator = 0;
+    std::uint32_t perExtraActuator = 0;
+
+    std::uint32_t units(std::uint32_t actuators) const;
+    PriceRange costFor(std::uint32_t actuators) const;
+};
+
+/** The Table 9(a) component list. */
+const std::vector<ComponentCost> &table9Components();
+
+/** Total material cost of a drive with @p actuators actuators. */
+PriceRange driveCost(std::uint32_t actuators);
+
+/** One Figure 9(b) iso-performance configuration. */
+struct IsoPerfConfig
+{
+    std::string name;
+    std::uint32_t drives = 1;
+    std::uint32_t actuatorsPerDrive = 1;
+
+    PriceRange totalCost() const;
+};
+
+/**
+ * The three iso-performance configurations of Figure 9(b): 4
+ * conventional drives, 2 dual-actuator drives, 1 quad-actuator drive
+ * (equivalence established by the Section 7.3 array experiments).
+ */
+const std::vector<IsoPerfConfig> &figure9Configs();
+
+} // namespace cost
+} // namespace idp
+
+#endif // IDP_COST_COST_MODEL_HH

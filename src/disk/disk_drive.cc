@@ -1,0 +1,626 @@
+#include "disk/disk_drive.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace disk {
+
+DiskDrive::DiskDrive(sim::Simulator &simul, const DriveSpec &spec,
+                     CompletionFn on_complete)
+    : sim_(simul),
+      spec_(spec),
+      geometry_(geom::DiskGeometry::build(spec.geometry)),
+      seekModel_([&spec, this] {
+          mech::SeekParams p = spec.seek;
+          p.cylinders = geometry_.cylinders();
+          return p;
+      }()),
+      spindle_(spec.rpm),
+      cache_(spec.cache),
+      scheduler_(sched::makeScheduler(spec.sched)),
+      onComplete_(std::move(on_complete))
+{
+    spec_.normalize();
+    const std::uint32_t n = spec_.dash.armAssemblies;
+    sim::simAssert(spec_.armAzimuths.empty() ||
+                       spec_.armAzimuths.size() == n,
+                   "disk: armAzimuths must match the actuator count");
+    arms_.resize(n);
+    for (std::uint32_t k = 0; k < n; ++k) {
+        arms_[k].azimuth = spec_.armAzimuths.empty()
+            ? armAzimuth(k, n)
+            : spec_.armAzimuths[k];
+        arms_[k].cylinder =
+            static_cast<std::uint32_t>(static_cast<std::uint64_t>(k) *
+                                       geometry_.cylinders() / n);
+    }
+    stats_.armAccesses.assign(n, 0);
+    nextInternalId_ = 1;
+    headSwitchTicks_ = sim::msToTicks(spec_.headSwitchMs);
+    controllerTicks_ = sim::msToTicks(spec_.controllerOverheadMs);
+    faultRng_ = sim::Rng(spec_.faultSeed);
+}
+
+std::uint32_t
+DiskDrive::armCylinder(std::uint32_t k) const
+{
+    sim::simAssert(k < arms_.size(), "armCylinder: bad arm index");
+    return arms_[k].cylinder;
+}
+
+void
+DiskDrive::failArm(std::uint32_t k)
+{
+    sim::simAssert(k < arms_.size(), "failArm: bad arm index");
+    sim::simAssert(aliveArms() > 1 || arms_[k].failed,
+                   "failArm: cannot deconfigure the last healthy arm");
+    arms_[k].failed = true;
+}
+
+std::uint32_t
+DiskDrive::aliveArms() const
+{
+    std::uint32_t alive = 0;
+    for (const auto &arm : arms_)
+        if (!arm.failed)
+            ++alive;
+    return alive;
+}
+
+sim::Tick
+DiskDrive::busTicks(std::uint32_t sectors) const
+{
+    const double bytes =
+        static_cast<double>(sectors) * geom::kSectorBytes;
+    const double secs = bytes / (spec_.busMBps * 1e6);
+    return controllerTicks_ + sim::secondsToTicks(secs);
+}
+
+sim::Tick
+DiskDrive::scaledSeek(std::uint32_t from, std::uint32_t to,
+                      bool is_write) const
+{
+    const std::uint32_t dist = from > to ? from - to : to - from;
+    const sim::Tick raw = seekModel_.seekTicks(dist, is_write);
+    return static_cast<sim::Tick>(static_cast<double>(raw) *
+                                  spec_.seekScale);
+}
+
+sim::Tick
+DiskDrive::scaledRotWait(sim::Tick at, const geom::Chs &chs,
+                         double azimuth) const
+{
+    const double angle = geometry_.sectorAngle(chs);
+    const sim::Tick raw = spindle_.waitFor(at, angle, azimuth);
+    return static_cast<sim::Tick>(static_cast<double>(raw) *
+                                  spec_.rotScale);
+}
+
+sim::Tick
+DiskDrive::armRotWait(sim::Tick at, const geom::Chs &chs,
+                      std::uint32_t arm_index) const
+{
+    const std::uint32_t heads = spec_.dash.headsPerArm;
+    const double base = arms_[arm_index].azimuth;
+    if (heads <= 1)
+        return scaledRotWait(at, chs, base);
+    // Heads on one arm are staggered so the combined head set of the
+    // whole drive covers the circumference evenly.
+    const double spacing =
+        1.0 / (static_cast<double>(arms_.size()) * heads);
+    sim::Tick best = scaledRotWait(at, chs, base);
+    for (std::uint32_t j = 1; j < heads; ++j) {
+        const sim::Tick w =
+            scaledRotWait(at, chs, base + j * spacing);
+        if (w < best)
+            best = w;
+    }
+    return best;
+}
+
+sim::Tick
+DiskDrive::transferTicks(const geom::Chs &start,
+                         std::uint32_t sectors) const
+{
+    sim::Tick ticks = 0;
+    geom::Chs cur = start;
+    std::uint32_t remaining = sectors;
+    while (remaining > 0) {
+        const std::uint32_t spt =
+            geometry_.sectorsPerTrack(cur.cylinder);
+        const std::uint32_t avail = spt - cur.sector;
+        const std::uint32_t take = std::min(remaining, avail);
+        ticks += spindle_.sweepTicks(static_cast<double>(take) /
+                                     static_cast<double>(spt));
+        remaining -= take;
+        if (remaining == 0)
+            break;
+        cur.sector = 0;
+        if (++cur.head >= geometry_.surfaces()) {
+            cur.head = 0;
+            if (cur.cylinder + 1 >= geometry_.cylinders())
+                break; // ran off the end; truncated transfer
+            ++cur.cylinder;
+            ticks += seekModel_.seekTicks(1, false);
+        } else {
+            ticks += headSwitchTicks_;
+        }
+    }
+    return ticks;
+}
+
+sim::Tick
+DiskDrive::positioningEstimate(const sched::PendingView &req,
+                               const sched::ArmView &arm) const
+{
+    const sim::Tick seek =
+        scaledSeek(arm.cylinder, req.cylinder, !req.isRead);
+    const geom::Chs chs = geometry_.lbaToChs(req.lba);
+    const sim::Tick rot = armRotWait(sim_.now() + seek, chs, arm.index);
+    return seek + rot;
+}
+
+void
+DiskDrive::submit(const workload::IoRequest &req)
+{
+    ++stats_.arrivals;
+    if (req.isRead)
+        ++stats_.reads;
+    sim::simAssert(req.sectors > 0, "disk: empty request");
+    sim::simAssert(req.lba + req.sectors <= geometry_.totalSectors(),
+                   "disk: request beyond device capacity");
+
+    if (req.isRead) {
+        if (cache_.readLookup(req.lba, req.sectors)) {
+            ++stats_.cacheHits;
+            const sim::Tick done = sim_.now() + busTicks(req.sectors);
+            workload::IoRequest copy = req;
+            sim_.schedule(done, [this, copy, done] {
+                ++stats_.completions;
+                ServiceInfo info;
+                info.cacheHit = true;
+                const double ms =
+                    sim::ticksToMs(done - copy.arrival);
+                stats_.responseMs.add(ms);
+                stats_.responseHist.add(ms);
+                if (onComplete_)
+                    onComplete_(copy, done, info);
+            });
+            return;
+        }
+    } else {
+        if (cache_.write(req.lba, req.sectors)) {
+            // Write-back absorbed the write; destage happens later.
+            const sim::Tick done = sim_.now() + busTicks(req.sectors);
+            workload::IoRequest copy = req;
+            sim_.schedule(done, [this, copy, done] {
+                ++stats_.completions;
+                ServiceInfo info;
+                info.cacheHit = true;
+                const double ms =
+                    sim::ticksToMs(done - copy.arrival);
+                stats_.responseMs.add(ms);
+                stats_.responseHist.add(ms);
+                if (onComplete_)
+                    onComplete_(copy, done, info);
+            });
+            maybeDestage();
+            return;
+        }
+    }
+
+    Pending pending;
+    pending.req = req;
+    pending.cylinder = geometry_.lbaToChs(req.lba).cylinder;
+    if (req.background)
+        pendingBg_.push_back(pending);
+    else
+        pending_.push_back(pending);
+    beginSpinUpIfNeeded();
+    tryDispatch();
+}
+
+void
+DiskDrive::armIdleTimer()
+{
+    if (spec_.spinDownAfterMs <= 0.0 || modes_.spunDown() ||
+        spinningUp_ || !idle())
+        return;
+    sim_.cancel(idleTimer_);
+    idleTimer_ = sim_.scheduleAfter(
+        sim::msToTicks(spec_.spinDownAfterMs),
+        [this] { onIdleTimeout(); });
+}
+
+void
+DiskDrive::onIdleTimeout()
+{
+    idleTimer_ = sim::kInvalidEventId;
+    if (!idle() || modes_.spunDown() || spinningUp_)
+        return;
+    modes_.spinDown(sim_.now());
+    ++stats_.spinDowns;
+}
+
+void
+DiskDrive::beginSpinUpIfNeeded()
+{
+    sim_.cancel(idleTimer_);
+    idleTimer_ = sim::kInvalidEventId;
+    if (!modes_.spunDown() || spinningUp_)
+        return;
+    spinningUp_ = true;
+    ++stats_.spinUps;
+    sim_.scheduleAfter(sim::msToTicks(spec_.spinUpMs), [this] {
+        modes_.spinUp(sim_.now());
+        spinningUp_ = false;
+        tryDispatch();
+    });
+}
+
+std::uint32_t
+DiskDrive::totalSectors(const Active &active) const
+{
+    std::uint32_t total = active.req.sectors;
+    for (const auto &rider : active.riders)
+        total += rider.sectors;
+    return total;
+}
+
+void
+DiskDrive::tryDispatch()
+{
+    if (modes_.spunDown() || spinningUp_)
+        return;
+    while ((!pending_.empty() || !pendingBg_.empty()) &&
+           activeSeeks_ < spec_.maxConcurrentSeeks) {
+        // Collect idle arms.
+        std::vector<sched::ArmView> idle_arms;
+        for (std::uint32_t k = 0; k < arms_.size(); ++k) {
+            if (!arms_[k].busy && !arms_[k].failed)
+                idle_arms.push_back(
+                    {k, arms_[k].cylinder, arms_[k].azimuth});
+        }
+        if (idle_arms.empty())
+            return;
+
+        // Materialize the scheduling window (oldest first).
+        // Foreground requests have strict priority: background work
+        // (and destages) is scheduled only when no foreground request
+        // is pending — the freeblock-scheduling role the paper's
+        // Section 5 assigns to spare arms.
+        std::list<Pending> &source =
+            pending_.empty() ? pendingBg_ : pending_;
+        std::vector<std::list<Pending>::iterator> window_iters;
+        std::vector<sched::PendingView> window;
+        std::uint32_t slot = 0;
+        for (auto it = source.begin();
+             it != source.end() && slot < spec_.schedWindow;
+             ++it, ++slot) {
+            window_iters.push_back(it);
+            window.push_back({slot, it->req.lba, it->cylinder,
+                              it->req.arrival, it->req.isRead});
+        }
+
+        const sched::PositioningFn oracle =
+            [this](const sched::PendingView &r, const sched::ArmView &a) {
+                return positioningEstimate(r, a);
+            };
+        const sched::Choice choice =
+            scheduler_->select(window, idle_arms, oracle, sim_.now());
+        sim::simAssert(choice.slot < window.size(),
+                       "disk: scheduler chose bad slot");
+        sim::simAssert(choice.arm < arms_.size() &&
+                           !arms_[choice.arm].busy,
+                       "disk: scheduler chose busy arm");
+
+        Active active;
+        active.req = window_iters[choice.slot]->req;
+        active.internal = window_iters[choice.slot]->internal;
+        active.arm = choice.arm;
+        source.erase(window_iters[choice.slot]);
+
+        if (spec_.coalesce) {
+            // Fold exactly-contiguous same-kind queued requests into
+            // this media access (they complete with it).
+            geom::Lba next_lba = active.req.lba + active.req.sectors;
+            bool merged = true;
+            while (merged &&
+                   active.riders.size() + 1 < spec_.coalesceLimit) {
+                merged = false;
+                for (auto it = source.begin(); it != source.end();
+                     ++it) {
+                    if (it->req.lba == next_lba &&
+                        it->req.isRead == active.req.isRead &&
+                        !it->internal) {
+                        next_lba += it->req.sectors;
+                        active.riders.push_back(it->req);
+                        source.erase(it);
+                        merged = true;
+                        break;
+                    }
+                }
+            }
+        }
+        startService(std::move(active));
+    }
+}
+
+void
+DiskDrive::startService(Active active)
+{
+    const sim::Tick now = sim_.now();
+    active.chs = geometry_.lbaToChs(active.req.lba);
+    active.dispatchTime = now;
+    Arm &arm = arms_[active.arm];
+    arm.busy = true;
+
+    active.seekTicks = scaledSeek(arm.cylinder, active.chs.cylinder,
+                                  !active.req.isRead);
+
+    const std::uint64_t id = nextInternalId_++;
+    modes_.requestStart(now);
+    ++stats_.mediaAccesses;
+    ++stats_.armAccesses[active.arm];
+    if (active.seekTicks > 0)
+        ++stats_.nonzeroSeeks;
+
+    const bool needs_motion = active.seekTicks > 0;
+    active.phase = Phase::Seeking;
+    active_.emplace(id, std::move(active));
+
+    if (needs_motion) {
+        ++activeSeeks_;
+        modes_.seekStart(now);
+        sim_.schedule(now + active_.at(id).seekTicks,
+                      [this, id] { onSeekDone(id); });
+    } else {
+        startRotation(id);
+    }
+}
+
+void
+DiskDrive::onSeekDone(std::uint64_t id)
+{
+    const sim::Tick now = sim_.now();
+    Active &active = active_.at(id);
+    sim::simAssert(activeSeeks_ > 0, "disk: seek budget underflow");
+    --activeSeeks_;
+    modes_.seekEnd(now);
+    startRotation(id);
+    // Freed motion budget may admit the next pending request.
+    tryDispatch();
+    (void)active;
+}
+
+void
+DiskDrive::startRotation(std::uint64_t id)
+{
+    const sim::Tick now = sim_.now();
+    Active &active = active_.at(id);
+    Arm &arm = arms_[active.arm];
+    arm.cylinder = active.chs.cylinder;
+
+    active.phase = Phase::Rotating;
+
+    if (spec_.zeroLatencyAccess && active.riders.empty()) {
+        // Single-track run already under the head? Start now and
+        // wrap: the whole access takes one revolution.
+        const std::uint32_t spt =
+            geometry_.sectorsPerTrack(active.chs.cylinder);
+        const std::uint32_t total = totalSectors(active);
+        if (active.chs.sector + total <= spt) {
+            const double extent = static_cast<double>(total) /
+                static_cast<double>(spt);
+            const sim::Tick to_start = scaledRotWait(
+                now, active.chs, arms_[active.arm].azimuth);
+            const sim::Tick period = spindle_.periodTicks();
+            const sim::Tick run_ticks = spindle_.sweepTicks(extent);
+            if (to_start + run_ticks > period) {
+                // The head is inside the run right now.
+                ++stats_.zeroLatencyHits;
+                active.xferOverride = period;
+                onRotationDone(id);
+                return;
+            }
+        }
+    }
+
+    const sim::Tick wait = armRotWait(now, active.chs, active.arm);
+    active.rotTicks += wait;
+    if (wait > 0)
+        sim_.schedule(now + wait, [this, id] { onRotationDone(id); });
+    else
+        onRotationDone(id);
+}
+
+void
+DiskDrive::onRotationDone(std::uint64_t id)
+{
+    Active &active = active_.at(id);
+    active.phase = Phase::ChannelWait;
+    tryStartTransfer(id);
+}
+
+void
+DiskDrive::tryStartTransfer(std::uint64_t id)
+{
+    const sim::Tick now = sim_.now();
+    Active &active = active_.at(id);
+    if (activeTransfers_ >= spec_.maxConcurrentTransfers) {
+        channelWaiters_.push_back(id);
+        return;
+    }
+    ++activeTransfers_;
+    modes_.transferStart(now);
+    active.phase = Phase::Transferring;
+    // The DASH S dimension streams from several surfaces at once,
+    // dividing the media-transfer portion of the service time.
+    const std::uint32_t s_par =
+        std::max<std::uint32_t>(1, spec_.dash.surfaces);
+    if (active.xferOverride > 0)
+        active.xferTicks =
+            active.xferOverride / s_par + controllerTicks_;
+    else
+        active.xferTicks =
+            transferTicks(active.chs, totalSectors(active)) / s_par +
+            controllerTicks_;
+    sim_.schedule(now + active.xferTicks,
+                  [this, id] { onTransferDone(id); });
+}
+
+void
+DiskDrive::onTransferDone(std::uint64_t id)
+{
+    const sim::Tick now = sim_.now();
+    sim::simAssert(activeTransfers_ > 0,
+                   "disk: channel budget underflow");
+    --activeTransfers_;
+    modes_.transferEnd(now);
+
+    // Fault injection: a failed media transfer re-reads after one
+    // full revolution (the sector must come around again), holding
+    // the arm but releasing the channel while it waits.
+    {
+        Active &active = active_.at(id);
+        if (spec_.mediaRetryRate > 0.0 &&
+            active.retries < spec_.maxRetries &&
+            faultRng_.chance(spec_.mediaRetryRate)) {
+            ++active.retries;
+            ++stats_.mediaRetries;
+            const sim::Tick rev = spindle_.periodTicks();
+            active.rotTicks += rev;
+            active.phase = Phase::Rotating;
+            sim_.schedule(now + rev,
+                          [this, id] { onRotationDone(id); });
+            // The freed channel may admit a waiter immediately.
+            if (!channelWaiters_.empty() &&
+                activeTransfers_ < spec_.maxConcurrentTransfers) {
+                const std::uint64_t wid = channelWaiters_.front();
+                channelWaiters_.erase(channelWaiters_.begin());
+                Active &waiter = active_.at(wid);
+                const sim::Tick extra = armRotWait(
+                    now, waiter.chs, waiter.arm);
+                waiter.rotTicks += extra;
+                waiter.phase = Phase::Rotating;
+                sim_.schedule(now + extra,
+                              [this, wid] { onRotationDone(wid); });
+            }
+            return;
+        }
+    }
+
+    completeActive(id);
+
+    // Wake the oldest channel waiter; its sector has rotated past, so
+    // it must re-wait for the platter to come around again.
+    if (!channelWaiters_.empty() &&
+        activeTransfers_ < spec_.maxConcurrentTransfers) {
+        const std::uint64_t wid = channelWaiters_.front();
+        channelWaiters_.erase(channelWaiters_.begin());
+        Active &waiter = active_.at(wid);
+        const sim::Tick extra =
+            armRotWait(now, waiter.chs, waiter.arm);
+        waiter.rotTicks += extra;
+        waiter.phase = Phase::Rotating;
+        if (extra > 0) {
+            sim_.schedule(now + extra,
+                          [this, wid] { onRotationDone(wid); });
+        } else {
+            onRotationDone(wid);
+        }
+    }
+}
+
+void
+DiskDrive::completeActive(std::uint64_t id)
+{
+    const sim::Tick now = sim_.now();
+    Active active = std::move(active_.at(id));
+    active_.erase(id);
+    modes_.requestEnd(now);
+    arms_[active.arm].busy = false;
+
+    if (active.req.isRead)
+        cache_.installRead(active.req.lba, totalSectors(active));
+
+    if (active.internal) {
+        ++stats_.destages;
+    } else {
+        ServiceInfo info;
+        info.seekTicks = active.seekTicks;
+        info.rotTicks = active.rotTicks;
+        info.xferTicks = active.xferTicks;
+        info.queueTicks = active.dispatchTime - active.req.arrival;
+        info.arm = active.arm;
+        info.cacheHit = false;
+        if (spec_.mediaRetryRate > 0.0 &&
+            active.retries >= spec_.maxRetries) {
+            info.failed = true;
+            ++stats_.hardErrors;
+        }
+
+        auto record = [&](const workload::IoRequest &req) {
+            ++stats_.completions;
+            if (req.background)
+                ++stats_.backgroundCompletions;
+            const double resp_ms = sim::ticksToMs(now - req.arrival);
+            stats_.responseMs.add(resp_ms);
+            stats_.responseHist.add(resp_ms);
+            stats_.seekMs.add(sim::ticksToMs(active.seekTicks));
+            const double rot_ms = sim::ticksToMs(active.rotTicks);
+            stats_.rotMs.add(rot_ms);
+            stats_.rotHist.add(rot_ms);
+            if (onComplete_)
+                onComplete_(req, now, info);
+        };
+        record(active.req);
+        stats_.coalescedRequests += active.riders.size();
+        for (const auto &rider : active.riders)
+            record(rider);
+    }
+
+    tryDispatch();
+    maybeDestage();
+    armIdleTimer();
+}
+
+void
+DiskDrive::maybeDestage()
+{
+    if (!spec_.cache.writeBack)
+        return;
+    if (!pending_.empty() || !pendingBg_.empty() || !active_.empty())
+        return;
+    auto dirty = cache_.popDirty();
+    if (!dirty)
+        return;
+    Pending pending;
+    pending.req.id = 0;
+    pending.req.arrival = sim_.now();
+    pending.req.lba = dirty->lba;
+    pending.req.sectors = dirty->sectors;
+    pending.req.isRead = false;
+    pending.cylinder = geometry_.lbaToChs(dirty->lba).cylinder;
+    pending.internal = true;
+    pendingBg_.push_back(pending);
+    beginSpinUpIfNeeded();
+    tryDispatch();
+}
+
+stats::ModeTimes
+DiskDrive::finishModeTimes()
+{
+    return modes_.finish(sim_.now());
+}
+
+stats::ModeTimes
+DiskDrive::modeTimesSnapshot() const
+{
+    return modes_.snapshot(sim_.now());
+}
+
+} // namespace disk
+} // namespace idp

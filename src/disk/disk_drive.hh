@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Event-driven disk drive model with intra-disk parallelism.
+ *
+ * Service pipeline per request (cache misses):
+ *
+ *   dispatch -> [seek] -> [rotational wait] -> [channel wait] ->
+ *   [transfer] -> complete
+ *
+ * Each in-flight request occupies one arm assembly. Two drive-wide
+ * resources gate concurrency, matching the paper's HC-SD-SA(n) design
+ * (Section 7.2): a *motion budget* (how many arms may seek at once;
+ * 1 in the base design) and a *channel budget* (how many heads may
+ * transfer at once; 1 in the base design). The technical-report
+ * extensions raise either budget. A conventional drive is simply the
+ * n = 1 case.
+ *
+ * Rotational waits need no resource: arms hold position while the
+ * platter spins. A request that loses the channel when its sector
+ * arrives re-waits a full pass, exactly as real hardware would.
+ *
+ * Scheduling: when an arm and motion budget are free, the configured
+ * scheduler examines a bounded window of the pending queue and all
+ * idle arms. The default follows the paper's setup: rotation-blind
+ * C-LOOK request selection (DiskSim-era driver-level LBN scheduling)
+ * with the arm chosen by shortest positioning time, using this
+ * drive's seek curve, spindle phase, and each arm's chassis azimuth
+ * as the oracle. Full joint SPTF is available as an ablation.
+ *
+ * The other DASH dimensions are modeled too: headsPerArm > 1 (H)
+ * staggers several heads per arm so the rotational wait takes the
+ * best head; dash.surfaces > 1 (S) streams from multiple surfaces,
+ * dividing media-transfer time.
+ */
+
+#ifndef IDP_DISK_DISK_DRIVE_HH
+#define IDP_DISK_DISK_DRIVE_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/disk_cache.hh"
+#include "disk/drive_config.hh"
+#include "geom/geometry.hh"
+#include "mech/seek_model.hh"
+#include "mech/spindle.hh"
+#include "sched/scheduler.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "stats/histogram.hh"
+#include "stats/mode_tracker.hh"
+#include "stats/sampler.hh"
+#include "workload/request.hh"
+
+namespace idp {
+namespace disk {
+
+/** Per-request service detail reported with each completion. */
+struct ServiceInfo
+{
+    sim::Tick seekTicks = 0;
+    sim::Tick rotTicks = 0;  ///< total rotational wait (incl. re-waits)
+    sim::Tick xferTicks = 0;
+    sim::Tick queueTicks = 0; ///< arrival -> dispatch
+    std::uint32_t arm = 0;
+    bool cacheHit = false;
+    /** Media access exhausted its retries (fault injection). */
+    bool failed = false;
+};
+
+/** Completion callback: (request, completion time, detail). */
+using CompletionFn = std::function<void(
+    const workload::IoRequest &, sim::Tick, const ServiceInfo &)>;
+
+/** Aggregated per-drive statistics. */
+struct DriveStats
+{
+    std::uint64_t arrivals = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t mediaAccesses = 0;
+    std::uint64_t nonzeroSeeks = 0;
+    std::uint64_t destages = 0;
+    std::uint64_t backgroundCompletions = 0;
+    std::uint64_t zeroLatencyHits = 0; ///< in-run read-on-arrival
+    std::uint64_t coalescedRequests = 0; ///< riders folded in
+    std::uint64_t mediaRetries = 0;      ///< injected re-reads
+    std::uint64_t hardErrors = 0;        ///< retry budget exhausted
+    std::uint64_t spinDowns = 0;         ///< power-mgmt spindle stops
+    std::uint64_t spinUps = 0;
+
+    stats::SampleSet responseMs{1u << 20};
+    stats::SampleSet seekMs{1u << 18};
+    stats::SampleSet rotMs{1u << 18};
+    stats::Histogram responseHist = stats::makeResponseHistogram();
+    stats::Histogram rotHist = stats::makeRotLatencyHistogram();
+
+    /** Per-arm media-access counts (scheduling balance). */
+    std::vector<std::uint64_t> armAccesses;
+
+    double
+    nonzeroSeekFraction() const
+    {
+        return mediaAccesses
+            ? static_cast<double>(nonzeroSeeks) /
+                static_cast<double>(mediaAccesses)
+            : 0.0;
+    }
+};
+
+/**
+ * One disk drive attached to a simulator.
+ *
+ * The drive does not own the completion consumer; storage arrays (or
+ * tests) provide the callback. All methods must be called from the
+ * simulator's event context (single-threaded).
+ */
+class DiskDrive
+{
+  public:
+    DiskDrive(sim::Simulator &simul, const DriveSpec &spec,
+              CompletionFn on_complete);
+
+    DiskDrive(const DiskDrive &) = delete;
+    DiskDrive &operator=(const DiskDrive &) = delete;
+
+    /** Submit a request at the current simulated time. */
+    void submit(const workload::IoRequest &req);
+
+    /** Pending (not yet dispatched) request count. */
+    std::size_t
+    queueDepth() const
+    {
+        return pending_.size() + pendingBg_.size();
+    }
+
+    /** Requests currently in mechanical service. */
+    std::size_t inFlight() const { return active_.size(); }
+
+    /** True when no request is queued or in service. */
+    bool
+    idle() const
+    {
+        return pending_.empty() && pendingBg_.empty() &&
+            active_.empty();
+    }
+
+    /** Close mode accounting at the current time and return totals. */
+    stats::ModeTimes finishModeTimes();
+
+    /** Snapshot of mode accounting without closing. */
+    stats::ModeTimes modeTimesSnapshot() const;
+
+    const DriveStats &stats() const { return stats_; }
+    const DriveSpec &spec() const { return spec_; }
+    const geom::DiskGeometry &geometry() const { return geometry_; }
+    const mech::SeekModel &seekModel() const { return seekModel_; }
+    const mech::Spindle &spindle() const { return spindle_; }
+    const cache::DiskCache &diskCache() const { return cache_; }
+
+    /** Current cylinder of arm @p k (tests / examples). */
+    std::uint32_t armCylinder(std::uint32_t k) const;
+
+    /**
+     * Deconfigure arm @p k (paper Section 8: SMART-driven graceful
+     * degradation). The arm finishes any request it is servicing and
+     * is never scheduled again. Failing the last healthy arm is a
+     * caller error and panics.
+     */
+    void failArm(std::uint32_t k);
+
+    /** Healthy (still configured) arm count. */
+    std::uint32_t aliveArms() const;
+
+    /** True while the spindle is stopped (spin-down power mgmt). */
+    bool spunDown() const { return modes_.spunDown(); }
+
+  private:
+    enum class Phase
+    {
+        Seeking,
+        Rotating,
+        ChannelWait,
+        Transferring,
+    };
+
+    struct Pending
+    {
+        workload::IoRequest req;
+        std::uint32_t cylinder = 0;
+        bool internal = false; ///< destage traffic, not reported
+    };
+
+    struct Active
+    {
+        workload::IoRequest req;
+        geom::Chs chs;
+        std::uint32_t arm = 0;
+        Phase phase = Phase::Seeking;
+        sim::Tick dispatchTime = 0;
+        sim::Tick seekTicks = 0;
+        sim::Tick rotTicks = 0;
+        sim::Tick xferTicks = 0;
+        /** Zero-latency in-run hit: transfer takes one revolution. */
+        sim::Tick xferOverride = 0;
+        std::uint32_t retries = 0; ///< media-error re-reads so far
+        bool internal = false; ///< destage traffic, not reported
+        /** Contiguous requests folded into this media access. */
+        std::vector<workload::IoRequest> riders;
+    };
+
+    struct Arm
+    {
+        std::uint32_t cylinder = 0;
+        double azimuth = 0.0;
+        bool busy = false;
+        bool failed = false; ///< deconfigured by failArm()
+    };
+
+    sim::Simulator &sim_;
+    DriveSpec spec_;
+    geom::DiskGeometry geometry_;
+    mech::SeekModel seekModel_;
+    mech::Spindle spindle_;
+    cache::DiskCache cache_;
+    std::unique_ptr<sched::IoScheduler> scheduler_;
+    CompletionFn onComplete_;
+
+    std::vector<Arm> arms_;
+    std::uint32_t activeSeeks_ = 0;
+    std::uint32_t activeTransfers_ = 0;
+    std::list<Pending> pending_;   ///< foreground queue
+    std::list<Pending> pendingBg_; ///< background + destage queue
+    std::unordered_map<std::uint64_t, Active> active_;
+    std::vector<std::uint64_t> channelWaiters_; // FIFO of active ids
+    std::uint64_t nextInternalId_;
+
+    stats::ModeTracker modes_;
+    DriveStats stats_;
+    sim::Rng faultRng_{0x51D0};
+
+    sim::Tick headSwitchTicks_;
+    sim::Tick controllerTicks_;
+    sim::EventId idleTimer_ = sim::kInvalidEventId;
+    bool spinningUp_ = false;
+
+    std::uint32_t totalSectors(const Active &active) const;
+    void tryDispatch();
+    void startService(Active active);
+    void onSeekDone(std::uint64_t id);
+    void startRotation(std::uint64_t id);
+    void onRotationDone(std::uint64_t id);
+    void tryStartTransfer(std::uint64_t id);
+    void onTransferDone(std::uint64_t id);
+    void completeActive(std::uint64_t id);
+    void maybeDestage();
+    void armIdleTimer();
+    void onIdleTimeout();
+    void beginSpinUpIfNeeded();
+
+    sim::Tick scaledSeek(std::uint32_t from, std::uint32_t to,
+                         bool is_write) const;
+    sim::Tick scaledRotWait(sim::Tick at, const geom::Chs &chs,
+                            double azimuth) const;
+    /**
+     * Rotational wait for arm @p arm_index, taking the best of its
+     * headsPerArm heads (the DASH H dimension: heads mounted
+     * equidistant from the actuation axis at staggered azimuths).
+     */
+    sim::Tick armRotWait(sim::Tick at, const geom::Chs &chs,
+                         std::uint32_t arm_index) const;
+    sim::Tick transferTicks(const geom::Chs &start,
+                            std::uint32_t sectors) const;
+    sim::Tick busTicks(std::uint32_t sectors) const;
+    sim::Tick positioningEstimate(const sched::PendingView &req,
+                                  const sched::ArmView &arm) const;
+};
+
+} // namespace disk
+} // namespace idp
+
+#endif // IDP_DISK_DISK_DRIVE_HH

@@ -1,0 +1,139 @@
+#include "disk/drive_config.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace disk {
+
+std::string
+DashConfig::str() const
+{
+    std::ostringstream os;
+    os << "D" << diskStacks << "A" << armAssemblies << "S" << surfaces
+       << "H" << headsPerArm;
+    return os.str();
+}
+
+std::uint32_t
+DashConfig::dataPaths() const
+{
+    return diskStacks * armAssemblies * surfaces * headsPerArm;
+}
+
+bool
+DashConfig::conventional() const
+{
+    return diskStacks == 1 && armAssemblies == 1 && surfaces == 1 &&
+        headsPerArm == 1;
+}
+
+void
+DriveSpec::normalize()
+{
+    sim::simAssert(dash.armAssemblies >= 1,
+                   "drive: need at least one arm assembly");
+    sim::simAssert(dash.headsPerArm >= 1,
+                   "drive: need at least one head per arm");
+    sim::simAssert(dash.surfaces >= 1 &&
+                       dash.surfaces <= geometry.platters * 2,
+                   "drive: surface parallelism beyond surface count");
+    sim::simAssert(dash.diskStacks == 1,
+                   "drive: model one stack per drive; use a "
+                   "StorageArray of smaller drives for the D "
+                   "dimension");
+    power.rpm = rpm;
+    power.platters = geometry.platters;
+    power.actuators = dash.armAssemblies;
+    if (maxConcurrentSeeks > dash.armAssemblies)
+        maxConcurrentSeeks = dash.armAssemblies;
+    if (maxConcurrentTransfers > dash.armAssemblies)
+        maxConcurrentTransfers = dash.armAssemblies;
+    sim::simAssert(maxConcurrentSeeks >= 1 && maxConcurrentTransfers >= 1,
+                   "drive: concurrency limits must be >= 1");
+    sim::simAssert(seekScale >= 0.0 && rotScale >= 0.0,
+                   "drive: scale knobs must be non-negative");
+}
+
+DriveSpec
+barracudaEs750()
+{
+    DriveSpec spec;
+    spec.name = "HC-SD";
+    spec.rpm = 7200;
+    spec.geometry.capacityBytes = 750ULL * 1000 * 1000 * 1000;
+    spec.geometry.platters = 4;
+    spec.geometry.zones = 30;
+    spec.geometry.outerSpt = 1270; // ~78 MB/s outer
+    spec.geometry.innerSpt = 650;  // ~40 MB/s inner
+    spec.seek.singleCylinderMs = 0.8;
+    spec.seek.averageMs = 8.5;
+    spec.seek.fullStrokeMs = 17.0;
+    spec.cache.cacheBytes = 8ULL * 1024 * 1024;
+    spec.power.platterDiameterIn = 3.7;
+    spec.sched.policy = sched::Policy::Clook;
+    spec.normalize();
+    return spec;
+}
+
+DriveSpec
+enterpriseDrive(double capacity_gb, std::uint32_t rpm,
+                std::uint32_t platters)
+{
+    DriveSpec spec;
+    spec.name = "enterprise";
+    spec.rpm = rpm;
+    spec.geometry.capacityBytes =
+        static_cast<std::uint64_t>(capacity_gb * 1e9);
+    spec.geometry.platters = platters;
+    spec.geometry.zones = 16;
+    // 10k-class drives of the trace era: faster spindles, smaller
+    // platters, quicker arms.
+    spec.geometry.outerSpt = 900;
+    spec.geometry.innerSpt = 500;
+    spec.seek.singleCylinderMs = 0.6;
+    spec.seek.averageMs = rpm >= 10000 ? 4.7 : 8.5;
+    spec.seek.fullStrokeMs = rpm >= 10000 ? 10.0 : 17.0;
+    spec.cache.cacheBytes = 8ULL * 1024 * 1024;
+    spec.power.platterDiameterIn = rpm >= 10000 ? 3.3 : 3.7;
+    spec.sched.policy = sched::Policy::Clook;
+    spec.normalize();
+    return spec;
+}
+
+DriveSpec
+makeIntraDiskParallel(DriveSpec base, std::uint32_t actuators)
+{
+    sim::simAssert(actuators >= 1, "makeIntraDiskParallel: n >= 1");
+    base.dash.armAssemblies = actuators;
+    base.maxConcurrentSeeks = 1;     // SA: single arm in motion
+    base.maxConcurrentTransfers = 1; // single data channel
+    base.sched.policy = sched::Policy::Clook;
+    std::ostringstream name;
+    name << "HC-SD-SA(" << actuators << ")";
+    base.name = name.str();
+    base.normalize();
+    return base;
+}
+
+DriveSpec
+withRpm(DriveSpec base, std::uint32_t rpm)
+{
+    base.rpm = rpm;
+    std::ostringstream name;
+    name << base.name << "/" << rpm;
+    base.name = name.str();
+    base.normalize();
+    return base;
+}
+
+double
+armAzimuth(std::uint32_t k, std::uint32_t n)
+{
+    sim::simAssert(n > 0 && k < n, "armAzimuth: bad arm index");
+    return static_cast<double>(k) / static_cast<double>(n);
+}
+
+} // namespace disk
+} // namespace idp

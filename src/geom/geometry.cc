@@ -1,0 +1,175 @@
+#include "geom/geometry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace geom {
+
+DiskGeometry
+DiskGeometry::build(const GeometryParams &params)
+{
+    sim::simAssert(params.platters > 0, "geometry: platters must be > 0");
+    sim::simAssert(params.zones > 0, "geometry: zones must be > 0");
+    sim::simAssert(params.outerSpt >= params.innerSpt &&
+                       params.innerSpt > 0,
+                   "geometry: need outerSpt >= innerSpt > 0");
+    sim::simAssert(params.capacityBytes >= kSectorBytes,
+                   "geometry: capacity too small");
+
+    DiskGeometry g;
+    g.params_ = params;
+    g.surfaces_ = params.platters * 2;
+
+    // Sectors/track per zone: linear taper from outer to inner.
+    std::vector<std::uint32_t> spt(params.zones);
+    for (std::uint32_t z = 0; z < params.zones; ++z) {
+        const double frac = (params.zones == 1)
+            ? 0.0
+            : static_cast<double>(z) /
+                static_cast<double>(params.zones - 1);
+        spt[z] = static_cast<std::uint32_t>(std::lround(
+            params.outerSpt -
+            frac * (params.outerSpt - params.innerSpt)));
+    }
+
+    // Total cylinders so that capacity target is met, split evenly
+    // across zones (remainder goes to the outermost zone).
+    double avg_spt = 0.0;
+    for (auto s : spt)
+        avg_spt += s;
+    avg_spt /= static_cast<double>(params.zones);
+    const double bytes_per_cyl =
+        avg_spt * g.surfaces_ * static_cast<double>(kSectorBytes);
+    std::uint32_t cylinders = static_cast<std::uint32_t>(
+        std::ceil(static_cast<double>(params.capacityBytes) /
+                  bytes_per_cyl));
+    cylinders = std::max(cylinders, params.zones);
+
+    const std::uint32_t per_zone = cylinders / params.zones;
+    std::uint32_t extra = cylinders % params.zones;
+
+    std::uint32_t next_cyl = 0;
+    Lba next_lba = 0;
+    g.zones_.reserve(params.zones);
+    for (std::uint32_t z = 0; z < params.zones; ++z) {
+        Zone zone;
+        zone.firstCylinder = next_cyl;
+        zone.cylinders = per_zone + (z < extra ? 1 : 0);
+        zone.sectorsPerTrack = spt[z];
+        zone.firstLba = next_lba;
+        next_cyl += zone.cylinders;
+        next_lba += static_cast<Lba>(zone.cylinders) * g.surfaces_ *
+            zone.sectorsPerTrack;
+        g.zones_.push_back(zone);
+    }
+    g.cylinders_ = next_cyl;
+    g.totalSectors_ = next_lba;
+
+    sim::simAssert(g.capacityBytes() >= params.capacityBytes,
+                   "geometry: built capacity below target");
+    return g;
+}
+
+const Zone &
+DiskGeometry::zoneOfCylinder(std::uint32_t cylinder) const
+{
+    sim::simAssert(cylinder < cylinders_,
+                   "geometry: cylinder out of range");
+    // Binary search over firstCylinder.
+    auto it = std::upper_bound(
+        zones_.begin(), zones_.end(), cylinder,
+        [](std::uint32_t c, const Zone &z) { return c < z.firstCylinder; });
+    sim::simAssert(it != zones_.begin(), "geometry: zone lookup broken");
+    return *(it - 1);
+}
+
+std::uint32_t
+DiskGeometry::sectorsPerTrack(std::uint32_t cylinder) const
+{
+    return zoneOfCylinder(cylinder).sectorsPerTrack;
+}
+
+std::uint64_t
+DiskGeometry::sectorsPerCylinder(std::uint32_t cylinder) const
+{
+    return static_cast<std::uint64_t>(sectorsPerTrack(cylinder)) *
+        surfaces_;
+}
+
+Chs
+DiskGeometry::lbaToChs(Lba lba) const
+{
+    sim::simAssert(lba < totalSectors_, "geometry: LBA out of range");
+    auto it = std::upper_bound(
+        zones_.begin(), zones_.end(), lba,
+        [](Lba l, const Zone &z) { return l < z.firstLba; });
+    const Zone &zone = *(it - 1);
+    const std::uint64_t off = lba - zone.firstLba;
+    const std::uint64_t per_cyl =
+        static_cast<std::uint64_t>(zone.sectorsPerTrack) * surfaces_;
+    Chs chs;
+    chs.cylinder =
+        zone.firstCylinder + static_cast<std::uint32_t>(off / per_cyl);
+    const std::uint64_t in_cyl = off % per_cyl;
+    chs.head = static_cast<std::uint32_t>(in_cyl / zone.sectorsPerTrack);
+    chs.sector =
+        static_cast<std::uint32_t>(in_cyl % zone.sectorsPerTrack);
+    return chs;
+}
+
+Lba
+DiskGeometry::chsToLba(const Chs &chs) const
+{
+    sim::simAssert(chs.cylinder < cylinders_ && chs.head < surfaces_,
+                   "geometry: CHS out of range");
+    const Zone &zone = zoneOfCylinder(chs.cylinder);
+    sim::simAssert(chs.sector < zone.sectorsPerTrack,
+                   "geometry: sector out of range");
+    const std::uint64_t per_cyl =
+        static_cast<std::uint64_t>(zone.sectorsPerTrack) * surfaces_;
+    return zone.firstLba +
+        static_cast<std::uint64_t>(chs.cylinder - zone.firstCylinder) *
+        per_cyl +
+        static_cast<std::uint64_t>(chs.head) * zone.sectorsPerTrack +
+        chs.sector;
+}
+
+double
+DiskGeometry::sectorAngle(const Chs &chs) const
+{
+    const Zone &zone = zoneOfCylinder(chs.cylinder);
+    const std::uint64_t skew =
+        static_cast<std::uint64_t>(chs.head) *
+            params_.trackSkewSectors +
+        static_cast<std::uint64_t>(chs.cylinder) *
+            params_.cylinderSkewSectors;
+    const std::uint64_t pos =
+        (chs.sector + skew) % zone.sectorsPerTrack;
+    return static_cast<double>(pos) /
+        static_cast<double>(zone.sectorsPerTrack);
+}
+
+double
+DiskGeometry::sectorExtent(std::uint32_t cylinder) const
+{
+    return 1.0 / static_cast<double>(sectorsPerTrack(cylinder));
+}
+
+std::string
+DiskGeometry::describe() const
+{
+    std::ostringstream os;
+    os << "geometry: " << platters() << " platters, " << surfaces_
+       << " surfaces, " << cylinders_ << " cylinders, " << zones_.size()
+       << " zones, spt " << zones_.back().sectorsPerTrack << ".."
+       << zones_.front().sectorsPerTrack << ", "
+       << capacityBytes() / 1000000000.0 << " GB";
+    return os.str();
+}
+
+} // namespace geom
+} // namespace idp

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Zoned-bit-recording disk geometry and LBA mapping.
+ *
+ * The geometry models what the mechanical simulator needs: how logical
+ * blocks map to (cylinder, head, sector) triples, how many sectors each
+ * track holds in each zone (outer tracks are denser, which is why
+ * transfer rate falls toward the spindle), and the angular position of
+ * every sector including track/cylinder skew.
+ *
+ * Mapping is "cylinder serpentine": LBAs fill track 0 of cylinder 0,
+ * then track 1 of cylinder 0, ..., then move to cylinder 1. Sequential
+ * streams therefore stay within a cylinder as long as possible, which
+ * matches real drives closely enough for the paper's experiments.
+ */
+
+#ifndef IDP_GEOM_GEOMETRY_HH
+#define IDP_GEOM_GEOMETRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace idp {
+namespace geom {
+
+/** Logical block address (sector granularity). */
+using Lba = std::uint64_t;
+
+/** Bytes per sector; the paper-era standard. */
+constexpr std::uint32_t kSectorBytes = 512;
+
+/** Physical sector coordinate. */
+struct Chs
+{
+    std::uint32_t cylinder = 0;
+    std::uint32_t head = 0;   ///< surface index
+    std::uint32_t sector = 0; ///< sector index within the track
+
+    bool
+    operator==(const Chs &o) const
+    {
+        return cylinder == o.cylinder && head == o.head &&
+            sector == o.sector;
+    }
+};
+
+/** One recording zone: a run of cylinders with equal track capacity. */
+struct Zone
+{
+    std::uint32_t firstCylinder = 0;
+    std::uint32_t cylinders = 0;
+    std::uint32_t sectorsPerTrack = 0;
+    Lba firstLba = 0; ///< first LBA mapped into this zone
+};
+
+/** Parameters from which a geometry is synthesized. */
+struct GeometryParams
+{
+    /** Formatted capacity target in bytes; actual capacity >= target. */
+    std::uint64_t capacityBytes = 750ULL * 1000 * 1000 * 1000;
+    std::uint32_t platters = 4;
+    std::uint32_t zones = 30;
+    /** Sectors per track on the outermost / innermost zone. */
+    std::uint32_t outerSpt = 1270;
+    std::uint32_t innerSpt = 650;
+    /** Track skew (head switch) and cylinder skew, in sectors. */
+    std::uint32_t trackSkewSectors = 40;
+    std::uint32_t cylinderSkewSectors = 80;
+};
+
+/**
+ * Immutable zoned disk geometry.
+ *
+ * Build one with DiskGeometry::build(); all queries are O(log zones)
+ * or O(1).
+ */
+class DiskGeometry
+{
+  public:
+    /** Synthesize a geometry meeting @p params. Fatal on nonsense. */
+    static DiskGeometry build(const GeometryParams &params);
+
+    std::uint32_t surfaces() const { return surfaces_; }
+    std::uint32_t platters() const { return surfaces_ / 2; }
+    std::uint32_t cylinders() const { return cylinders_; }
+    std::uint64_t totalSectors() const { return totalSectors_; }
+    std::uint64_t capacityBytes() const
+    {
+        return totalSectors_ * kSectorBytes;
+    }
+    const std::vector<Zone> &zones() const { return zones_; }
+
+    /** Zone containing @p cylinder. */
+    const Zone &zoneOfCylinder(std::uint32_t cylinder) const;
+
+    /** Sectors per track at @p cylinder. */
+    std::uint32_t sectorsPerTrack(std::uint32_t cylinder) const;
+
+    /** Sectors in one full cylinder at @p cylinder. */
+    std::uint64_t sectorsPerCylinder(std::uint32_t cylinder) const;
+
+    /** Map an LBA to its physical coordinate. Fatal if out of range. */
+    Chs lbaToChs(Lba lba) const;
+
+    /** Inverse mapping. Fatal if the coordinate is out of range. */
+    Lba chsToLba(const Chs &chs) const;
+
+    /**
+     * Angular position, in revolutions [0, 1), of the *start* of the
+     * given sector on the platter, accounting for track and cylinder
+     * skew.
+     */
+    double sectorAngle(const Chs &chs) const;
+
+    /** Angular extent of one sector at @p cylinder, in revolutions. */
+    double sectorExtent(std::uint32_t cylinder) const;
+
+    /** Human-readable summary (used by examples / reports). */
+    std::string describe() const;
+
+    const GeometryParams &params() const { return params_; }
+
+  private:
+    DiskGeometry() = default;
+
+    GeometryParams params_;
+    std::uint32_t surfaces_ = 0;
+    std::uint32_t cylinders_ = 0;
+    std::uint64_t totalSectors_ = 0;
+    std::vector<Zone> zones_;
+};
+
+} // namespace geom
+} // namespace idp
+
+#endif // IDP_GEOM_GEOMETRY_HH

@@ -1,0 +1,98 @@
+#include "mech/seek_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace mech {
+
+SeekModel::SeekModel(const SeekParams &params) : params_(params)
+{
+    sim::simAssert(params.cylinders >= 4, "seek: needs >= 4 cylinders");
+    sim::simAssert(params.singleCylinderMs > 0.0 &&
+                       params.averageMs >= params.singleCylinderMs &&
+                       params.fullStrokeMs >= params.averageMs,
+                   "seek: anchors must satisfy single <= avg <= full");
+    for (std::size_t i = 1; i < params.curvePoints.size(); ++i) {
+        sim::simAssert(params.curvePoints[i].first >
+                               params.curvePoints[i - 1].first &&
+                           params.curvePoints[i].second >=
+                               params.curvePoints[i - 1].second,
+                       "seek: curve points must ascend");
+    }
+
+    // The "average seek time" vendors quote corresponds to roughly a
+    // one-third-stroke seek; anchor the knee there.
+    knee_ = std::max(2.0, static_cast<double>(params.cylinders) / 3.0);
+    sqrtCoef_ = params.averageMs - params.singleCylinderMs;
+    const double span = static_cast<double>(params.cylinders - 1) - knee_;
+    linSlope_ = span > 0.0
+        ? (params.fullStrokeMs - params.averageMs) / span
+        : 0.0;
+}
+
+double
+SeekModel::seekTimeMs(std::uint32_t distance) const
+{
+    if (distance == 0)
+        return 0.0;
+    if (!params_.curvePoints.empty()) {
+        const auto &pts = params_.curvePoints;
+        if (distance <= pts.front().first)
+            return pts.front().second;
+        if (distance >= pts.back().first)
+            return pts.back().second;
+        for (std::size_t i = 1; i < pts.size(); ++i) {
+            if (distance <= pts[i].first) {
+                const double x0 = pts[i - 1].first;
+                const double y0 = pts[i - 1].second;
+                const double x1 = pts[i].first;
+                const double y1 = pts[i].second;
+                return y0 +
+                    (y1 - y0) * (static_cast<double>(distance) - x0) /
+                    (x1 - x0);
+            }
+        }
+    }
+    const double d = static_cast<double>(
+        std::min<std::uint32_t>(distance, params_.cylinders - 1));
+    if (d <= knee_) {
+        const double frac = (d - 1.0) / (knee_ - 1.0);
+        return params_.singleCylinderMs +
+            sqrtCoef_ * std::sqrt(std::max(0.0, frac));
+    }
+    return params_.averageMs + linSlope_ * (d - knee_);
+}
+
+sim::Tick
+SeekModel::seekTicks(std::uint32_t distance, bool is_write) const
+{
+    if (distance == 0)
+        return 0;
+    double ms = seekTimeMs(distance);
+    if (is_write)
+        ms += params_.writeSettleMs;
+    return sim::msToTicks(ms);
+}
+
+double
+SeekModel::uniformAverageMs() const
+{
+    // Expected seek time when both endpoints are uniform over the
+    // stroke: distance pdf is triangular, f(d) = 2(C-d)/C^2.
+    const double c = static_cast<double>(params_.cylinders);
+    double sum = 0.0;
+    const int steps = 512;
+    for (int i = 1; i <= steps; ++i) {
+        const double d = c * static_cast<double>(i) / (steps + 1);
+        const double w = 2.0 * (c - d) / (c * c);
+        sum += seekTimeMs(static_cast<std::uint32_t>(d)) * w * c /
+            steps;
+    }
+    return sum;
+}
+
+} // namespace mech
+} // namespace idp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Voice-coil-motor seek-time model.
+ *
+ * Classic three-point calibrated curve: a square-root regime for short
+ * seeks (acceleration-limited) joined to a linear regime for long seeks
+ * (coast-limited), anchored at the drive's single-cylinder, average
+ * (one-third stroke), and full-stroke seek times. This is the same
+ * family of curves DiskSim fits to vendor data.
+ */
+
+#ifndef IDP_MECH_SEEK_MODEL_HH
+#define IDP_MECH_SEEK_MODEL_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace idp {
+namespace mech {
+
+/** Calibration anchors for a seek curve. */
+struct SeekParams
+{
+    double singleCylinderMs = 0.8; ///< 1-cylinder seek incl. settle
+    double averageMs = 8.5;        ///< seek time at 1/3 stroke
+    double fullStrokeMs = 17.0;    ///< end-to-end seek time
+    /** Extra settle time applied to writes (heads must settle harder). */
+    double writeSettleMs = 0.3;
+    std::uint32_t cylinders = 100000; ///< total stroke, in cylinders
+
+    /**
+     * Optional measured curve: (distance, ms) points, strictly
+     * ascending in both coordinates. When non-empty the model
+     * interpolates piecewise-linearly between points (clamping at the
+     * ends) instead of using the three-anchor analytic curve — the
+     * way DiskSim consumes extracted vendor seek profiles.
+     */
+    std::vector<std::pair<std::uint32_t, double>> curvePoints;
+};
+
+/**
+ * Seek-time curve.
+ *
+ * seekTime(0) == 0 (no motion); seekTime is monotonically
+ * non-decreasing in distance.
+ */
+class SeekModel
+{
+  public:
+    explicit SeekModel(const SeekParams &params);
+
+    /** Seek time for a @p distance-cylinder move, milliseconds. */
+    double seekTimeMs(std::uint32_t distance) const;
+
+    /** Same, in ticks, with optional write-settle added. */
+    sim::Tick seekTicks(std::uint32_t distance, bool is_write) const;
+
+    /** Average over all distances of a uniform random seek (ms). */
+    double uniformAverageMs() const;
+
+    const SeekParams &params() const { return params_; }
+
+  private:
+    SeekParams params_;
+    double knee_;     ///< distance where sqrt regime hands to linear
+    double sqrtCoef_; ///< coefficient of sqrt((d-1)/(knee-1)) term
+    double linSlope_; ///< ms per cylinder beyond the knee
+};
+
+} // namespace mech
+} // namespace idp
+
+#endif // IDP_MECH_SEEK_MODEL_HH

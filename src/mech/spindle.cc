@@ -1,0 +1,54 @@
+#include "mech/spindle.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace mech {
+
+Spindle::Spindle(std::uint32_t rpm) : rpm_(rpm)
+{
+    sim::simAssert(rpm > 0, "spindle: rpm must be > 0");
+    period_ = static_cast<sim::Tick>(
+        60.0 * static_cast<double>(sim::kTicksPerSec) /
+            static_cast<double>(rpm) +
+        0.5);
+}
+
+double
+Spindle::periodMs() const
+{
+    return sim::ticksToMs(period_);
+}
+
+double
+Spindle::rotationAt(sim::Tick t) const
+{
+    return static_cast<double>(t % period_) /
+        static_cast<double>(period_);
+}
+
+sim::Tick
+Spindle::waitFor(sim::Tick now, double sector_angle,
+                 double head_azimuth) const
+{
+    double gap = head_azimuth - sector_angle - rotationAt(now);
+    gap -= std::floor(gap); // frac(), result in [0, 1)
+    sim::Tick wait = static_cast<sim::Tick>(
+        gap * static_cast<double>(period_) + 0.5);
+    if (wait >= period_)
+        wait -= period_;
+    return wait;
+}
+
+sim::Tick
+Spindle::sweepTicks(double revolutions) const
+{
+    sim::simAssert(revolutions >= 0.0, "spindle: negative sweep");
+    return static_cast<sim::Tick>(
+        revolutions * static_cast<double>(period_) + 0.5);
+}
+
+} // namespace mech
+} // namespace idp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Spindle rotation model.
+ *
+ * Tracks the platter stack's angular position as a pure function of
+ * time (constant RPM). All heads share one spindle; multi-actuator
+ * designs differ only in each actuator's fixed chassis azimuth.
+ *
+ * Conventions: angles are in revolutions, [0, 1). The platter point
+ * with platter-fixed angle `a` sits under a head at chassis azimuth
+ * `h` whenever frac(a + rotation(t)) == h, i.e. the wait from time t
+ * until sector-start `a` reaches head `h` is
+ * frac(h - a - rotation(t)) * period.
+ */
+
+#ifndef IDP_MECH_SPINDLE_HH
+#define IDP_MECH_SPINDLE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace idp {
+namespace mech {
+
+/** Constant-speed spindle. */
+class Spindle
+{
+  public:
+    /** @param rpm rotational speed, revolutions per minute (> 0). */
+    explicit Spindle(std::uint32_t rpm);
+
+    std::uint32_t rpm() const { return rpm_; }
+
+    /** One revolution, in ticks. */
+    sim::Tick periodTicks() const { return period_; }
+
+    /** One revolution, in milliseconds. */
+    double periodMs() const;
+
+    /** Rotation angle at time @p t, in revolutions [0, 1). */
+    double rotationAt(sim::Tick t) const;
+
+    /**
+     * Ticks to wait from @p now until platter angle @p sector_angle
+     * passes under a head at chassis azimuth @p head_azimuth.
+     * Returns a value in [0, period).
+     */
+    sim::Tick waitFor(sim::Tick now, double sector_angle,
+                      double head_azimuth) const;
+
+    /** Ticks to sweep @p revolutions of rotation (e.g. a transfer). */
+    sim::Tick sweepTicks(double revolutions) const;
+
+  private:
+    std::uint32_t rpm_;
+    sim::Tick period_;
+};
+
+} // namespace mech
+} // namespace idp
+
+#endif // IDP_MECH_SPINDLE_HH

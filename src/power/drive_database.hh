@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Historical drive database backing Table 1 of the paper.
+ *
+ * Each entry carries the published characteristics (areal density,
+ * diameter, capacity, actuator count, power, transfer rate, price) of
+ * the drives the paper compares — IBM 3380 AK4, Fujitsu M2361A, Conner
+ * CP3100, Seagate Barracuda ES — plus the hypothetical 4-actuator
+ * intra-disk parallel drive, and the PowerParams needed to *model*
+ * each drive's power with the analytic model so the bench can print
+ * modeled-vs-published numbers side by side.
+ */
+
+#ifndef IDP_POWER_DRIVE_DATABASE_HH
+#define IDP_POWER_DRIVE_DATABASE_HH
+
+#include <string>
+#include <vector>
+
+#include "power/power_model.hh"
+
+namespace idp {
+namespace power {
+
+/** One Table 1 row. */
+struct HistoricalDrive
+{
+    std::string name;
+    std::string era; ///< e.g. "SIGMOD'88 RAID paper" or "modern"
+    double arealDensityMbIn2 = 0.0;
+    double diameterIn = 0.0;
+    double capacityMB = 0.0;
+    std::uint32_t actuators = 1;
+    /** Published "power/box" watts (0 when the paper leaves it open). */
+    double publishedPowerW = 0.0;
+    /** Published transfer rate, MB/s (0 when not reported). */
+    double transferMBs = 0.0;
+    /** Published price per MB range, dollars (0 when open). */
+    double priceLoPerMB = 0.0;
+    double priceHiPerMB = 0.0;
+    /** Parameters to model this drive's power analytically. */
+    PowerParams powerParams;
+};
+
+/** The five Table 1 drives, in the paper's column order. */
+const std::vector<HistoricalDrive> &table1Drives();
+
+/** Modeled worst-case power for a Table 1 entry, watts. */
+double modeledPeakPowerW(const HistoricalDrive &drive);
+
+/** Modeled idle power, watts. */
+double modeledIdlePowerW(const HistoricalDrive &drive);
+
+} // namespace power
+} // namespace idp
+
+#endif // IDP_POWER_DRIVE_DATABASE_HH

@@ -1,0 +1,98 @@
+#include "power/power_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace idp {
+namespace power {
+
+double
+PowerBreakdown::modeAvgW(stats::DiskMode m) const
+{
+    if (wallSeconds <= 0.0)
+        return 0.0;
+    return energyJ[static_cast<std::size_t>(m)] / wallSeconds;
+}
+
+double
+PowerBreakdown::totalAvgW() const
+{
+    return wallSeconds > 0.0 ? totalEnergyJ / wallSeconds : 0.0;
+}
+
+void
+PowerBreakdown::merge(const PowerBreakdown &other)
+{
+    for (std::size_t i = 0; i < stats::kNumDiskModes; ++i)
+        energyJ[i] += other.energyJ[i];
+    totalEnergyJ += other.totalEnergyJ;
+    // Disks in an array run for the same wall time; keep the max so
+    // average power of the aggregate divides by the run length once.
+    wallSeconds = std::max(wallSeconds, other.wallSeconds);
+}
+
+PowerModel::PowerModel(const PowerParams &params) : params_(params)
+{
+    sim::simAssert(params.platterDiameterIn > 0.0 && params.rpm > 0 &&
+                       params.platters > 0 && params.actuators > 0,
+                   "power: invalid parameters");
+    const double d = params.platterDiameterIn;
+    const double krpm = static_cast<double>(params.rpm) / 1000.0;
+    spindleW_ = params.spmCoef * std::pow(d, params.spmDiameterExp) *
+        std::pow(krpm, params.spmRpmExp) *
+        static_cast<double>(params.platters) * params.eraFactor;
+    vcmSeekW_ = params.vcmCoefAvg * std::pow(d, params.vcmDiameterExp);
+    vcmPeakW_ = params.vcmCoefPeak * std::pow(d, params.vcmDiameterExp);
+}
+
+double
+PowerModel::peakW() const
+{
+    return idleW() +
+        vcmPeakW_ * static_cast<double>(params_.actuators);
+}
+
+PowerBreakdown
+PowerModel::integrate(const stats::ModeTimes &times) const
+{
+    using stats::DiskMode;
+    PowerBreakdown out;
+    const auto secs = [](sim::Tick t) { return sim::ticksToSeconds(t); };
+
+    const double t_idle = secs(times.wall[static_cast<std::size_t>(
+        DiskMode::Idle)]);
+    const double t_rot = secs(times.wall[static_cast<std::size_t>(
+        DiskMode::RotWait)]);
+    const double t_seek = secs(times.wall[static_cast<std::size_t>(
+        DiskMode::Seek)]);
+    const double t_xfer = secs(times.wall[static_cast<std::size_t>(
+        DiskMode::Transfer)]);
+
+    // Baseline (spindle + electronics) energy is attributed to the
+    // wall mode; incremental VCM / channel energy goes to the seek and
+    // transfer buckets regardless of overlap, so total energy is
+    // conserved under concurrency. Standby (spun-down) time pays only
+    // the electronics, not the spindle.
+    const double base = idleW();
+    const double t_standby = secs(times.standbyTicks);
+    out.energyJ[static_cast<std::size_t>(DiskMode::Idle)] =
+        base * (t_idle - t_standby) +
+        params_.electronicsW * t_standby;
+    out.energyJ[static_cast<std::size_t>(DiskMode::RotWait)] =
+        base * t_rot;
+    out.energyJ[static_cast<std::size_t>(DiskMode::Seek)] =
+        base * t_seek + vcmSeekW_ * secs(times.vcmSeconds);
+    out.energyJ[static_cast<std::size_t>(DiskMode::Transfer)] =
+        base * t_xfer +
+        params_.channelActiveW * secs(times.channelSeconds);
+
+    for (double e : out.energyJ)
+        out.totalEnergyJ += e;
+    out.wallSeconds = secs(times.total);
+    return out;
+}
+
+} // namespace power
+} // namespace idp

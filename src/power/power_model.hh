@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Analytic disk power model.
+ *
+ * Follows the scaling laws the paper relies on (Sato et al. [18] /
+ * SODA [44]): spindle power grows with platter diameter to the ~4.6th
+ * power, roughly cubically with RPM (we use exponent 2.8), and
+ * linearly with platter count. Voice-coil power scales with platter
+ * diameter (heavier arms sweep larger radii).
+ *
+ * Calibration anchors (see Table 1 of the paper):
+ *  - Seagate Barracuda ES (3.7 in platters, 7200 RPM, 4 platters):
+ *    ~9.3 W idle, ~13 W with one VCM seeking.
+ *  - Hypothetical 4-actuator extension: ~34 W with all four VCMs
+ *    active (the paper's worst-case projection).
+ * The default coefficients below reproduce these anchors exactly.
+ */
+
+#ifndef IDP_POWER_POWER_MODEL_HH
+#define IDP_POWER_POWER_MODEL_HH
+
+#include <cstdint>
+
+#include "stats/mode_tracker.hh"
+
+namespace idp {
+namespace power {
+
+/** Electro-mechanical parameters feeding the power model. */
+struct PowerParams
+{
+    double platterDiameterIn = 3.7; ///< platter diameter, inches
+    std::uint32_t rpm = 7200;
+    std::uint32_t platters = 4;
+    std::uint32_t actuators = 1;
+
+    /** Always-on controller/channel electronics, watts. */
+    double electronicsW = 2.5;
+    /** Incremental data-channel power while a head transfers, watts. */
+    double channelActiveW = 1.7;
+
+    /** Spindle coefficient: spm = coef * D^4.6 * (rpm/1000)^2.8 * P. */
+    double spmCoef = 1.6439e-5;
+    double spmDiameterExp = 4.6;
+    double spmRpmExp = 2.8;
+
+    /** VCM average seek power = coef * D^2.5 (per active actuator). */
+    double vcmCoefAvg = 0.1405;
+    /** VCM worst-case power = coef * D^2.5 (Table 1 projection). */
+    double vcmCoefPeak = 0.2345;
+    double vcmDiameterExp = 2.5;
+
+    /**
+     * Era efficiency multiplier (>= 1) on spindle power. Modern drives
+     * use 1.0; 1970s–80s motors and drivers were far less efficient,
+     * which is how the IBM 3380's kilowatts arise from the same law.
+     */
+    double eraFactor = 1.0;
+};
+
+/** Energy/average-power breakdown over the four operating modes. */
+struct PowerBreakdown
+{
+    /** Energy per mode, joules, indexed by stats::DiskMode. */
+    double energyJ[stats::kNumDiskModes] = {0, 0, 0, 0};
+    double totalEnergyJ = 0.0;
+    double wallSeconds = 0.0;
+
+    /** Average power contribution of a mode over the whole run, W. */
+    double modeAvgW(stats::DiskMode m) const;
+    /** Total average power, watts. */
+    double totalAvgW() const;
+    /** Accumulate another breakdown (aggregate an array). */
+    void merge(const PowerBreakdown &other);
+};
+
+/**
+ * Computes static mode powers and integrates ModeTimes into energy.
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerParams &params);
+
+    /** Spindle motor power while spinning, watts. */
+    double spindleW() const { return spindleW_; }
+
+    /** One actuator's average power while seeking, watts. */
+    double vcmSeekW() const { return vcmSeekW_; }
+
+    /** One actuator's worst-case power, watts. */
+    double vcmPeakW() const { return vcmPeakW_; }
+
+    /** Power when spinning with no request in service, watts. */
+    double idleW() const { return spindleW_ + params_.electronicsW; }
+
+    /** Power while only waiting on rotation (arms parked), watts. */
+    double rotWaitW() const { return idleW(); }
+
+    /** Power with exactly one arm in motion, watts. */
+    double seekW() const { return idleW() + vcmSeekW_; }
+
+    /** Power while transferring (channel active), watts. */
+    double transferW() const { return idleW() + params_.channelActiveW; }
+
+    /**
+     * Worst-case power: all actuators seeking at peak VCM power
+     * simultaneously — the Table 1 "Power/box" projection scenario
+     * (the paper's 34 W figure for the 4-actuator drive).
+     */
+    double peakW() const;
+
+    /** Integrate measured mode times into energy, per mode. */
+    PowerBreakdown integrate(const stats::ModeTimes &times) const;
+
+    const PowerParams &params() const { return params_; }
+
+  private:
+    PowerParams params_;
+    double spindleW_;
+    double vcmSeekW_;
+    double vcmPeakW_;
+};
+
+} // namespace power
+} // namespace idp
+
+#endif // IDP_POWER_POWER_MODEL_HH

@@ -1,0 +1,73 @@
+#include "power/thermal.hh"
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace power {
+
+ThermalModel::ThermalModel(const ThermalParams &params)
+    : params_(params)
+{
+    sim::simAssert(params.resistanceCPerW > 0.0,
+                   "thermal: resistance must be positive");
+    sim::simAssert(params.maxOperatingC > params.ambientC,
+                   "thermal: envelope below ambient");
+}
+
+double
+ThermalModel::temperatureC(double dissipated_w) const
+{
+    sim::simAssert(dissipated_w >= 0.0, "thermal: negative power");
+    return params_.ambientC + params_.resistanceCPerW * dissipated_w;
+}
+
+double
+ThermalModel::powerBudgetW() const
+{
+    return (params_.maxOperatingC - params_.ambientC) /
+        params_.resistanceCPerW;
+}
+
+bool
+ThermalModel::withinEnvelope(double dissipated_w) const
+{
+    return temperatureC(dissipated_w) <= params_.maxOperatingC;
+}
+
+double
+ThermalModel::peakTemperatureC(const PowerParams &power_params) const
+{
+    const PowerModel model(power_params);
+    return temperatureC(model.peakW());
+}
+
+bool
+ThermalModel::feasible(const PowerParams &power_params) const
+{
+    const PowerModel model(power_params);
+    return withinEnvelope(model.peakW());
+}
+
+std::uint32_t
+ThermalModel::maxFeasibleRpm(PowerParams power_params,
+                             std::uint32_t max_rpm) const
+{
+    // Peak power is monotone in RPM, so binary-search the boundary.
+    std::uint32_t lo = 1, hi = max_rpm, best = 0;
+    while (lo <= hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        power_params.rpm = mid;
+        if (feasible(power_params)) {
+            best = mid;
+            lo = mid + 1;
+        } else {
+            if (mid == 0)
+                break;
+            hi = mid - 1;
+        }
+    }
+    return best;
+}
+
+} // namespace power
+} // namespace idp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * First-order drive thermal model.
+ *
+ * The paper's motivation leans on Gurumurthi et al. [12]: rotational
+ * speeds cannot keep scaling because drive temperature tracks
+ * dissipated power, and reliability collapses past the thermal
+ * envelope [16]. This model captures that argument at the level the
+ * paper uses it: steady-state drive temperature is ambient plus
+ * thermal resistance times dissipated power, and a design point is
+ * feasible only if its worst-case temperature stays inside the
+ * envelope. The companion bench (motivation_rpm_thermal) shows why
+ * "just spin faster" fails where "add an actuator" fits.
+ */
+
+#ifndef IDP_POWER_THERMAL_HH
+#define IDP_POWER_THERMAL_HH
+
+#include "power/power_model.hh"
+
+namespace idp {
+namespace power {
+
+/** Thermal environment and envelope. */
+struct ThermalParams
+{
+    /** Air temperature at the drive, deg C (dense server bay). */
+    double ambientC = 40.0;
+    /** Case-to-ambient thermal resistance, deg C per watt. */
+    double resistanceCPerW = 1.1;
+    /** Maximum reliable operating temperature, deg C. */
+    double maxOperatingC = 60.0;
+};
+
+/** Steady-state thermal evaluation of a drive design point. */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(const ThermalParams &params);
+
+    /** Steady-state drive temperature at @p dissipated_w watts. */
+    double temperatureC(double dissipated_w) const;
+
+    /** Watts the envelope allows above ambient. */
+    double powerBudgetW() const;
+
+    /** True if @p dissipated_w keeps the drive inside the envelope. */
+    bool withinEnvelope(double dissipated_w) const;
+
+    /**
+     * Worst-case (peak-power) temperature of a drive described by
+     * @p power_params.
+     */
+    double peakTemperatureC(const PowerParams &power_params) const;
+
+    /** Envelope check for the drive's worst case. */
+    bool feasible(const PowerParams &power_params) const;
+
+    /**
+     * Highest RPM (searched to 1 RPM granularity, up to @p max_rpm)
+     * at which the drive's worst case still fits the envelope;
+     * 0 if even the lowest searched speed does not fit.
+     */
+    std::uint32_t maxFeasibleRpm(PowerParams power_params,
+                                 std::uint32_t max_rpm = 30000) const;
+
+    const ThermalParams &params() const { return params_; }
+
+  private:
+    ThermalParams params_;
+};
+
+} // namespace power
+} // namespace idp
+
+#endif // IDP_POWER_THERMAL_HH

@@ -1,0 +1,83 @@
+#include "reliability/reliability.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace reliability {
+
+namespace {
+
+double
+binomial(std::uint32_t n, std::uint32_t k)
+{
+    double r = 1.0;
+    for (std::uint32_t i = 1; i <= k; ++i)
+        r = r * static_cast<double>(n - k + i) /
+            static_cast<double>(i);
+    return r;
+}
+
+} // namespace
+
+ReliabilityModel::ReliabilityModel(const ReliabilityParams &params)
+    : params_(params)
+{
+    sim::simAssert(params.spindleMttfHours > 0.0 &&
+                       params.electronicsMttfHours > 0.0 &&
+                       params.actuatorMttfHours > 0.0,
+                   "reliability: MTTFs must be positive");
+    baseRate_ = 1.0 / params.spindleMttfHours +
+        1.0 / params.electronicsMttfHours;
+    actuatorRate_ = 1.0 / params.actuatorMttfHours;
+}
+
+double
+ReliabilityModel::seriesMttfHours(std::uint32_t actuators) const
+{
+    sim::simAssert(actuators >= 1, "reliability: need >= 1 actuator");
+    return 1.0 / (baseRate_ + actuators * actuatorRate_);
+}
+
+double
+ReliabilityModel::degradableMttfHours(std::uint32_t actuators) const
+{
+    sim::simAssert(actuators >= 1, "reliability: need >= 1 actuator");
+    // S(t) = e^{-b t} * (1 - (1 - e^{-a t})^n); expand the last-arm
+    // survival with inclusion-exclusion and integrate term by term:
+    // MTTF = sum_{k=1..n} C(n,k) (-1)^{k+1} / (b + k a).
+    double mttf = 0.0;
+    for (std::uint32_t k = 1; k <= actuators; ++k) {
+        const double sign = (k % 2 == 1) ? 1.0 : -1.0;
+        mttf += sign * binomial(actuators, k) /
+            (baseRate_ + static_cast<double>(k) * actuatorRate_);
+    }
+    return mttf;
+}
+
+double
+ReliabilityModel::survival(double hours, std::uint32_t actuators,
+                           bool degradable) const
+{
+    sim::simAssert(hours >= 0.0, "reliability: negative time");
+    const double base = std::exp(-baseRate_ * hours);
+    if (!degradable) {
+        return base *
+            std::exp(-actuatorRate_ * actuators * hours);
+    }
+    const double arm_dead = 1.0 - std::exp(-actuatorRate_ * hours);
+    return base *
+        (1.0 - std::pow(arm_dead, static_cast<double>(actuators)));
+}
+
+double
+ReliabilityModel::expectedAliveArms(double hours,
+                                    std::uint32_t actuators) const
+{
+    return static_cast<double>(actuators) *
+        std::exp(-actuatorRate_ * hours);
+}
+
+} // namespace reliability
+} // namespace idp

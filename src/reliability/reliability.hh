@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Drive reliability model (paper Section 8, "Disk Drive Reliability").
+ *
+ * Intra-disk parallel drives add hardware; if any one component
+ * failing killed the drive, MTTF would drop with every extra actuator.
+ * The paper's answer is graceful degradation: SMART-style monitoring
+ * deconfigures a failing head/arm assembly and the drive keeps
+ * serving with the remaining arms. This module provides the analytic
+ * side of that argument:
+ *
+ *  - seriesMttfHours(n): MTTF if every component is a single point of
+ *    failure (the pessimistic no-degradation design);
+ *  - degradableMttfHours(n): MTTF to *data unavailability* when the
+ *    drive survives until the shared base (spindle, controller) dies
+ *    or the last actuator dies;
+ *  - survival() / expectedAliveArms(): the curves behind those means.
+ *
+ * All lifetimes are exponential; rates are expressed as MTTF hours.
+ * The runtime half of the story — DiskDrive::failArm() — lives in the
+ * disk model and is exercised by bench/ablation_reliability.
+ */
+
+#ifndef IDP_RELIABILITY_RELIABILITY_HH
+#define IDP_RELIABILITY_RELIABILITY_HH
+
+#include <cstdint>
+
+namespace idp {
+namespace reliability {
+
+/** Component MTTFs, hours. Defaults are enterprise-class figures. */
+struct ReliabilityParams
+{
+    /** Spindle/motor subsystem MTTF. */
+    double spindleMttfHours = 2.0e6;
+    /** Controller + electronics MTTF. */
+    double electronicsMttfHours = 3.0e6;
+    /** One actuator group (VCM + arms + heads + preamp channel). */
+    double actuatorMttfHours = 2.5e6;
+};
+
+/** Analytic reliability of an n-actuator drive. */
+class ReliabilityModel
+{
+  public:
+    explicit ReliabilityModel(const ReliabilityParams &params);
+
+    /** MTTF when any component failure is fatal (series system). */
+    double seriesMttfHours(std::uint32_t actuators) const;
+
+    /**
+     * MTTF to data unavailability with graceful degradation: the
+     * drive dies when the shared base dies or the last of the
+     * @p actuators actuator groups dies.
+     */
+    double degradableMttfHours(std::uint32_t actuators) const;
+
+    /** Survival probability at time @p hours. */
+    double survival(double hours, std::uint32_t actuators,
+                    bool degradable) const;
+
+    /**
+     * Expected number of still-configured actuators at time @p hours,
+     * conditioned on nothing (unconditional mean).
+     */
+    double expectedAliveArms(double hours,
+                             std::uint32_t actuators) const;
+
+    const ReliabilityParams &params() const { return params_; }
+
+  private:
+    ReliabilityParams params_;
+    double baseRate_;     ///< spindle + electronics failure rate, /h
+    double actuatorRate_; ///< one actuator group's failure rate, /h
+};
+
+} // namespace reliability
+} // namespace idp
+
+#endif // IDP_RELIABILITY_RELIABILITY_HH

@@ -1,0 +1,83 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace sim {
+
+EventId
+Simulator::schedule(Tick when, EventAction action)
+{
+    simAssert(when >= now_, "Simulator::schedule: event scheduled in past");
+    auto entry = std::make_unique<Entry>();
+    entry->when = when;
+    entry->seq = nextSeq_++;
+    entry->id = entry->seq; // seq doubles as the unique id
+    entry->action = std::move(action);
+    const EventId id = entry->id;
+    heap_.push(std::move(entry));
+    ++pending_;
+    return id;
+}
+
+EventId
+Simulator::scheduleAfter(Tick delta, EventAction action)
+{
+    return schedule(now_ + delta, std::move(action));
+}
+
+void
+Simulator::cancel(EventId id)
+{
+    if (id == kInvalidEventId || id >= nextSeq_)
+        return;
+    if (cancelled_.insert(id).second && pending_ > 0)
+        --pending_;
+}
+
+bool
+Simulator::step()
+{
+    while (!heap_.empty()) {
+        // priority_queue::top() is const; the const_cast move is safe
+        // because we pop immediately after.
+        auto &top = const_cast<std::unique_ptr<Entry> &>(heap_.top());
+        std::unique_ptr<Entry> entry = std::move(top);
+        heap_.pop();
+        auto it = cancelled_.find(entry->id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        simAssert(entry->when >= now_,
+                  "Simulator::step: time went backwards");
+        now_ = entry->when;
+        --pending_;
+        ++fired_;
+        entry->action();
+        return true;
+    }
+    return false;
+}
+
+Tick
+Simulator::run(Tick until)
+{
+    while (!heap_.empty()) {
+        const Entry *top = heap_.top().get();
+        if (top->when > until) {
+            now_ = until;
+            return now_;
+        }
+        // step() lazily discards cancelled entries.
+        step();
+    }
+    if (until != kTickNever && until > now_)
+        now_ = until;
+    return now_;
+}
+
+} // namespace sim
+} // namespace idp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Discrete-event queue and simulator driver.
+ *
+ * The simulator is a classic calendar of (tick, sequence, callback)
+ * entries. The sequence number breaks ties deterministically in
+ * scheduling order, so two events at the same tick always fire in the
+ * order they were scheduled — a property several disk-model invariants
+ * (e.g. "channel released before the next transfer is started") rely on.
+ */
+
+#ifndef IDP_SIM_EVENT_QUEUE_HH
+#define IDP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace idp {
+namespace sim {
+
+/** Callback type invoked when an event fires. */
+using EventAction = std::function<void()>;
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/** Sentinel returned for never-scheduled events. */
+constexpr EventId kInvalidEventId = 0;
+
+/**
+ * Deterministic discrete-event simulator.
+ *
+ * Usage:
+ * @code
+ *   Simulator simul;
+ *   simul.schedule(msToTicks(1), [&]{ ... });
+ *   simul.run();
+ * @endcode
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p action to fire at absolute time @p when.
+     * Scheduling in the past (when < now) is a simulator bug and panics.
+     * @return a handle usable with cancel().
+     */
+    EventId schedule(Tick when, EventAction action);
+
+    /** Schedule @p action @p delta ticks from now. */
+    EventId scheduleAfter(Tick delta, EventAction action);
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an event that has
+     * already fired (or was already cancelled) is a harmless no-op.
+     */
+    void cancel(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const { return pending_; }
+
+    /**
+     * Run until the event queue drains or @p until is reached
+     * (events at exactly @p until still fire).
+     * @return the final simulated time.
+     */
+    Tick run(Tick until = kTickNever);
+
+    /** Fire at most one pending event. @return false if queue was empty. */
+    bool step();
+
+    /** Total number of events fired since construction. */
+    std::uint64_t eventsFired() const { return fired_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+        EventAction action;
+    };
+
+    struct EntryCompare
+    {
+        // std::priority_queue is a max-heap; invert for earliest-first,
+        // with sequence number as the deterministic tiebreak.
+        bool
+        operator()(const std::unique_ptr<Entry> &a,
+                   const std::unique_ptr<Entry> &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t fired_ = 0;
+    std::size_t pending_ = 0;
+    std::priority_queue<std::unique_ptr<Entry>,
+                        std::vector<std::unique_ptr<Entry>>,
+                        EntryCompare> heap_;
+    /** Ids cancelled but not yet popped; lazily discarded. */
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace sim
+} // namespace idp
+
+#endif // IDP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,42 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+namespace idp {
+namespace sim {
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+warnOnce(const std::string &msg)
+{
+    static std::mutex mtx;
+    static std::set<std::string> seen;
+    std::lock_guard<std::mutex> lock(mtx);
+    if (seen.insert(msg).second)
+        warn(msg);
+}
+
+} // namespace sim
+} // namespace idp

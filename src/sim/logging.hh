@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal()  — unrecoverable *user* error (bad configuration, impossible
+ *            parameters); exits with status 1.
+ * panic()  — unrecoverable *simulator* bug (broken invariant); aborts so a
+ *            core dump / debugger can be used.
+ * warn()   — suspicious but survivable condition; printed once per call
+ *            site text when warnOnce() is used.
+ */
+
+#ifndef IDP_SIM_LOGGING_HH
+#define IDP_SIM_LOGGING_HH
+
+#include <string>
+
+namespace idp {
+namespace sim {
+
+/** Print "fatal: <msg>" to stderr and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print "panic: <msg>" to stderr and abort(). */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print "warn: <msg>" to stderr. */
+void warn(const std::string &msg);
+
+/** Like warn(), but suppresses repeats of an identical message. */
+void warnOnce(const std::string &msg);
+
+/** If !cond, panic with msg. Enabled in all build types. */
+inline void
+simAssert(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace sim
+} // namespace idp
+
+#endif // IDP_SIM_LOGGING_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental simulation time types and unit conversions.
+ *
+ * All simulated time is kept in integer nanosecond "ticks" so that event
+ * ordering is exact and runs are bit-reproducible across platforms.
+ * Floating-point seconds/milliseconds are used only at module boundaries
+ * (analytic mechanical models, statistics, report printing).
+ */
+
+#ifndef IDP_SIM_TYPES_HH
+#define IDP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace idp {
+namespace sim {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Signed tick difference, for deltas that may be negative. */
+using TickDelta = std::int64_t;
+
+/** One microsecond in ticks. */
+constexpr Tick kTicksPerUs = 1000ULL;
+/** One millisecond in ticks. */
+constexpr Tick kTicksPerMs = 1000ULL * kTicksPerUs;
+/** One second in ticks. */
+constexpr Tick kTicksPerSec = 1000ULL * kTicksPerMs;
+
+/** Sentinel for "no deadline / never". */
+constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** Convert seconds (double) to ticks, rounding to nearest. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kTicksPerSec) + 0.5);
+}
+
+/** Convert milliseconds (double) to ticks, rounding to nearest. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kTicksPerMs) + 0.5);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+/** Convert ticks to milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerMs);
+}
+
+} // namespace sim
+} // namespace idp
+
+#endif // IDP_SIM_TYPES_HH

@@ -1,0 +1,184 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace stats {
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges))
+{
+    sim::simAssert(!edges_.empty(), "Histogram: needs at least one edge");
+    sim::simAssert(std::is_sorted(edges_.begin(), edges_.end()) &&
+                       std::adjacent_find(edges_.begin(), edges_.end()) ==
+                           edges_.end(),
+                   "Histogram: edges must be strictly ascending");
+    counts_.assign(edges_.size() + 1, 0);
+}
+
+Histogram
+Histogram::uniform(double lo, double hi, std::size_t bins)
+{
+    sim::simAssert(hi > lo && bins > 0, "Histogram::uniform: bad range");
+    std::vector<double> edges;
+    edges.reserve(bins);
+    const double width = (hi - lo) / static_cast<double>(bins);
+    for (std::size_t i = 1; i <= bins; ++i)
+        edges.push_back(lo + width * static_cast<double>(i));
+    return Histogram(std::move(edges));
+}
+
+void
+Histogram::add(double x)
+{
+    add(x, 1);
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+    const std::size_t idx = static_cast<std::size_t>(it - edges_.begin());
+    counts_[idx] += weight;
+    if (total_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    total_ += weight;
+    sum_ += x * static_cast<double>(weight);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    sim::simAssert(edges_ == other.edges_,
+                   "Histogram::merge: incompatible edges");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    if (other.total_ > 0) {
+        if (total_ == 0) {
+            min_ = other.min_;
+            max_ = other.max_;
+        } else {
+            min_ = std::min(min_, other.min_);
+            max_ = std::max(max_, other.max_);
+        }
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    sum_ = 0.0;
+    min_ = max_ = 0.0;
+}
+
+double
+Histogram::mean() const
+{
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+double
+Histogram::upperEdge(std::size_t i) const
+{
+    if (i < edges_.size())
+        return edges_[i];
+    return std::numeric_limits<double>::infinity();
+}
+
+double
+Histogram::cdfAt(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t cum = 0;
+    for (std::size_t j = 0; j <= i && j < counts_.size(); ++j)
+        cum += counts_[j];
+    return static_cast<double>(cum) / static_cast<double>(total_);
+}
+
+double
+Histogram::pdfAt(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+        static_cast<double>(total_);
+}
+
+std::vector<std::pair<double, double>>
+Histogram::cdfSeries(double overflow_label) const
+{
+    std::vector<std::pair<double, double>> out;
+    out.reserve(counts_.size());
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        const double edge =
+            (i < edges_.size()) ? edges_[i] : overflow_label;
+        const double frac = total_
+            ? static_cast<double>(cum) / static_cast<double>(total_)
+            : 0.0;
+        out.emplace_back(edge, frac);
+    }
+    return out;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    sim::simAssert(q >= 0.0 && q <= 1.0, "Histogram::quantile: bad q");
+    if (total_ == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = cum + static_cast<double>(counts_[i]);
+        if (next >= target && counts_[i] > 0) {
+            const double lo = (i == 0) ? std::min(min_, edges_[0])
+                                       : edges_[i - 1];
+            const double hi = (i < edges_.size()) ? edges_[i] : max_;
+            const double frac =
+                (target - cum) / static_cast<double>(counts_[i]);
+            return lo + (std::max(hi, lo) - lo) * std::min(1.0, frac);
+        }
+        cum = next;
+    }
+    return max_;
+}
+
+const std::vector<double> &
+paperResponseEdgesMs()
+{
+    static const std::vector<double> edges = {5,  10,  20,  40,  60,
+                                              90, 120, 150, 200};
+    return edges;
+}
+
+Histogram
+makeResponseHistogram()
+{
+    return Histogram(paperResponseEdgesMs());
+}
+
+Histogram
+makeRotLatencyHistogram()
+{
+    return Histogram::uniform(0.0, 12.0, 12);
+}
+
+} // namespace stats
+} // namespace idp

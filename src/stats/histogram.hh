@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bucketed histograms used for the paper's CDF/PDF plots.
+ *
+ * The paper reports response times as a CDF over the fixed bucket upper
+ * bounds {5, 10, 20, 40, 60, 90, 120, 150, 200, 200+} ms (Figures 2, 4,
+ * 5, 7) and rotational latencies as a PDF over ~1 ms bins (Figure 5,
+ * bottom row). Histogram supports both through explicit bucket edges.
+ */
+
+#ifndef IDP_STATS_HISTOGRAM_HH
+#define IDP_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace idp {
+namespace stats {
+
+/**
+ * Histogram over half-open buckets defined by ascending upper edges.
+ *
+ * With edges {e0, e1, ..., ek} a sample x lands in the first bucket with
+ * x <= e_i; samples above the last edge land in a final overflow bucket.
+ * All buckets therefore number edges.size() + 1.
+ */
+class Histogram
+{
+  public:
+    /** @param upper_edges strictly ascending bucket upper bounds. */
+    explicit Histogram(std::vector<double> upper_edges);
+
+    /** Build with @p bins equal-width buckets spanning [lo, hi). */
+    static Histogram uniform(double lo, double hi, std::size_t bins);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Record @p weight samples of value x. */
+    void add(double x, std::uint64_t weight);
+
+    /** Merge another histogram with identical edges. */
+    void merge(const Histogram &other);
+
+    /** Reset all counts (edges retained). */
+    void clear();
+
+    /** Number of buckets, including the overflow bucket. */
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Raw count in bucket @p i. */
+    std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+
+    /** Total samples recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Mean of all recorded samples (0 when empty). */
+    double mean() const;
+
+    /** Minimum / maximum sample seen (0 when empty). */
+    double minSeen() const { return total_ ? min_ : 0.0; }
+    double maxSeen() const { return total_ ? max_ : 0.0; }
+
+    /** Upper edge of bucket i; the overflow bucket reports +inf. */
+    double upperEdge(std::size_t i) const;
+
+    /** Cumulative fraction of samples at or below bucket i's edge. */
+    double cdfAt(std::size_t i) const;
+
+    /** Fraction of samples inside bucket i. */
+    double pdfAt(std::size_t i) const;
+
+    /**
+     * CDF as a vector of (upper_edge, cumulative_fraction) rows; the
+     * overflow row uses the magic edge value @p overflow_label.
+     */
+    std::vector<std::pair<double, double>>
+    cdfSeries(double overflow_label) const;
+
+    /**
+     * Approximate quantile (q in [0,1]) by linear interpolation within
+     * the containing bucket; exact when samples align to edges.
+     */
+    double quantile(double q) const;
+
+    const std::vector<double> &edges() const { return edges_; }
+
+  private:
+    std::vector<double> edges_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** The paper's response-time CDF bucket upper bounds, in milliseconds. */
+const std::vector<double> &paperResponseEdgesMs();
+
+/** Make an empty response-time histogram with the paper's buckets. */
+Histogram makeResponseHistogram();
+
+/** Make a rotational-latency PDF histogram (1 ms bins through 12 ms). */
+Histogram makeRotLatencyHistogram();
+
+} // namespace stats
+} // namespace idp
+
+#endif // IDP_STATS_HISTOGRAM_HH

@@ -1,0 +1,129 @@
+#include "stats/mode_tracker.hh"
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace stats {
+
+void
+ModeTimes::merge(const ModeTimes &other)
+{
+    for (std::size_t i = 0; i < kNumDiskModes; ++i)
+        wall[i] += other.wall[i];
+    vcmSeconds += other.vcmSeconds;
+    channelSeconds += other.channelSeconds;
+    standbyTicks += other.standbyTicks;
+    total += other.total;
+}
+
+DiskMode
+ModeTracker::currentMode() const
+{
+    if (transfers_ > 0)
+        return DiskMode::Transfer;
+    if (seeks_ > 0)
+        return DiskMode::Seek;
+    if (inflight_ > 0)
+        return DiskMode::RotWait;
+    return DiskMode::Idle;
+}
+
+void
+ModeTracker::advanceTo(sim::Tick now)
+{
+    sim::simAssert(now >= lastChange_, "ModeTracker: time went backwards");
+    const sim::Tick dt = now - lastChange_;
+    if (dt > 0) {
+        acc_.wall[static_cast<std::size_t>(currentMode())] += dt;
+        acc_.vcmSeconds += dt * static_cast<sim::Tick>(seeks_);
+        acc_.channelSeconds += dt * static_cast<sim::Tick>(transfers_);
+        if (spunDown_)
+            acc_.standbyTicks += dt;
+        acc_.total += dt;
+        lastChange_ = now;
+    } else {
+        lastChange_ = now;
+    }
+}
+
+void
+ModeTracker::seekStart(sim::Tick now)
+{
+    advanceTo(now);
+    ++seeks_;
+}
+
+void
+ModeTracker::seekEnd(sim::Tick now)
+{
+    advanceTo(now);
+    sim::simAssert(seeks_ > 0, "ModeTracker: seekEnd without seekStart");
+    --seeks_;
+}
+
+void
+ModeTracker::transferStart(sim::Tick now)
+{
+    advanceTo(now);
+    ++transfers_;
+}
+
+void
+ModeTracker::transferEnd(sim::Tick now)
+{
+    advanceTo(now);
+    sim::simAssert(transfers_ > 0,
+                   "ModeTracker: transferEnd without transferStart");
+    --transfers_;
+}
+
+void
+ModeTracker::requestStart(sim::Tick now)
+{
+    sim::simAssert(!spunDown_,
+                   "ModeTracker: request started while spun down");
+    advanceTo(now);
+    ++inflight_;
+}
+
+void
+ModeTracker::spinDown(sim::Tick now)
+{
+    sim::simAssert(inflight_ == 0,
+                   "ModeTracker: spinDown with requests in flight");
+    advanceTo(now);
+    spunDown_ = true;
+}
+
+void
+ModeTracker::spinUp(sim::Tick now)
+{
+    advanceTo(now);
+    spunDown_ = false;
+}
+
+void
+ModeTracker::requestEnd(sim::Tick now)
+{
+    advanceTo(now);
+    sim::simAssert(inflight_ > 0,
+                   "ModeTracker: requestEnd without requestStart");
+    --inflight_;
+}
+
+ModeTimes
+ModeTracker::finish(sim::Tick now)
+{
+    advanceTo(now);
+    return acc_;
+}
+
+ModeTimes
+ModeTracker::snapshot(sim::Tick now) const
+{
+    ModeTracker copy = *this;
+    return copy.finish(now);
+}
+
+} // namespace stats
+} // namespace idp

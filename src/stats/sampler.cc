@@ -1,0 +1,88 @@
+#include "stats/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace stats {
+
+SampleSet::SampleSet(std::size_t capacity)
+    : capacity_(capacity), rng_(0xC0FFEE123456789ULL)
+{
+    sim::simAssert(capacity_ > 0, "SampleSet: capacity must be > 0");
+}
+
+void
+SampleSet::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    sumSq_ += x * x;
+    if (samples_.size() < capacity_) {
+        samples_.push_back(x);
+        sorted_ = false;
+    } else {
+        // Vitter's algorithm R: replace a random slot with probability
+        // capacity / count so retained samples stay uniform.
+        const std::uint64_t j = rng_.uniformInt(count_);
+        if (j < capacity_) {
+            samples_[static_cast<std::size_t>(j)] = x;
+            sorted_ = false;
+        }
+    }
+}
+
+double
+SampleSet::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+SampleSet::quantile(double q) const
+{
+    sim::simAssert(q >= 0.0 && q <= 1.0, "SampleSet::quantile: bad q");
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        auto &mut = const_cast<std::vector<double> &>(samples_);
+        std::sort(mut.begin(), mut.end());
+        sorted_ = true;
+    }
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+SampleSet::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double var = (sumSq_ - sum_ * sum_ / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+SampleSet::clear()
+{
+    samples_.clear();
+    sorted_ = true;
+    count_ = 0;
+    sum_ = sumSq_ = 0.0;
+    min_ = max_ = 0.0;
+}
+
+} // namespace stats
+} // namespace idp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Exact-percentile sample collector with reservoir fallback.
+ *
+ * Figure 8 reports 90th-percentile response times; the limit study
+ * quotes means. SampleSet keeps every sample up to a cap and switches
+ * to uniform reservoir sampling beyond it so percentiles stay accurate
+ * without unbounded memory on multi-million-request runs.
+ */
+
+#ifndef IDP_STATS_SAMPLER_HH
+#define IDP_STATS_SAMPLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace idp {
+namespace stats {
+
+/** Collects scalar samples; computes exact order statistics on demand. */
+class SampleSet
+{
+  public:
+    /** @param capacity maximum retained samples before reservoir mode. */
+    explicit SampleSet(std::size_t capacity = 1u << 20);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Number of samples *offered* (not necessarily retained). */
+    std::uint64_t count() const { return count_; }
+
+    /** True when no samples have been offered. */
+    bool empty() const { return count_ == 0; }
+
+    /** Running mean over all offered samples. */
+    double mean() const;
+
+    /** Min / max over all offered samples (0 when empty). */
+    double minSeen() const { return count_ ? min_ : 0.0; }
+    double maxSeen() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * Quantile q in [0, 1] over retained samples (exact below capacity,
+     * reservoir-approximate above). q = 0.5 gives the median.
+     */
+    double quantile(double q) const;
+
+    /** Convenience: quantile(0.90). */
+    double p90() const { return quantile(0.90); }
+    /** Convenience: quantile(0.99). */
+    double p99() const { return quantile(0.99); }
+
+    /** Standard deviation over all offered samples. */
+    double stddev() const;
+
+    /** Discard everything. */
+    void clear();
+
+  private:
+    std::size_t capacity_;
+    std::vector<double> samples_;
+    mutable bool sorted_ = true;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    sim::Rng rng_;
+};
+
+} // namespace stats
+} // namespace idp
+
+#endif // IDP_STATS_SAMPLER_HH

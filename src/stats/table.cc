@@ -1,0 +1,107 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace idp {
+namespace stats {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute per-column widths over header and all rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            os << (i == 0 ? "" : "  ");
+            os << cell;
+            os << std::string(widths[i] - cell.size(), ' ');
+        }
+        os << '\n';
+    };
+    auto emitRule = [&]() {
+        std::size_t len = 0;
+        for (std::size_t w : widths)
+            len += w + 2;
+        os << std::string(len > 2 ? len - 2 : len, '-') << '\n';
+    };
+
+    if (!title_.empty()) {
+        os << title_ << '\n';
+        emitRule();
+    }
+    if (!header_.empty()) {
+        emitRow(header_);
+        emitRule();
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        if (std::find(separators_.begin(), separators_.end(), i) !=
+            separators_.end())
+            emitRule();
+        emitRow(rows_[i]);
+    }
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            os << (i ? "," : "") << row[i];
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtPct(double frac, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, frac * 100.0);
+    return buf;
+}
+
+} // namespace stats
+} // namespace idp

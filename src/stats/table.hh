@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses.
+ *
+ * Every bench binary regenerates a paper table/figure as an aligned
+ * ASCII table (and optionally CSV) so the rows/series can be compared
+ * against the paper directly in a terminal.
+ */
+
+#ifndef IDP_STATS_TABLE_HH
+#define IDP_STATS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace idp {
+namespace stats {
+
+/** Simple column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row (cells already formatted). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a visual separator row. */
+    void addSeparator();
+
+    /** Render aligned text to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment, no separators). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> separators_;
+};
+
+/** Format a double with @p decimals decimal places. */
+std::string fmt(double v, int decimals = 2);
+
+/** Format a fraction as a percentage string, e.g. 0.413 -> "41.3%". */
+std::string fmtPct(double frac, int decimals = 1);
+
+} // namespace stats
+} // namespace idp
+
+#endif // IDP_STATS_TABLE_HH

@@ -1,0 +1,55 @@
+#include "stats/time_series.hh"
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace stats {
+
+TimeSeries::TimeSeries(sim::Tick window_ticks,
+                       std::size_t per_window_capacity)
+    : windowTicks_(window_ticks),
+      capacity_(per_window_capacity),
+      empty_(1)
+{
+    sim::simAssert(window_ticks > 0, "time series: zero window");
+    sim::simAssert(per_window_capacity > 0,
+                   "time series: zero capacity");
+}
+
+void
+TimeSeries::add(sim::Tick at, double value)
+{
+    const std::size_t w = static_cast<std::size_t>(at / windowTicks_);
+    while (windows_.size() <= w)
+        windows_.emplace_back(capacity_);
+    windows_[w].add(value);
+}
+
+const SampleSet &
+TimeSeries::window(std::size_t w) const
+{
+    return w < windows_.size() ? windows_[w] : empty_;
+}
+
+std::vector<double>
+TimeSeries::meanSeries() const
+{
+    std::vector<double> out;
+    out.reserve(windows_.size());
+    for (const auto &w : windows_)
+        out.push_back(w.mean());
+    return out;
+}
+
+std::vector<double>
+TimeSeries::quantileSeries(double q) const
+{
+    std::vector<double> out;
+    out.reserve(windows_.size());
+    for (const auto &w : windows_)
+        out.push_back(w.quantile(q));
+    return out;
+}
+
+} // namespace stats
+} // namespace idp

@@ -1,0 +1,106 @@
+#include "workload/locality.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+namespace idp {
+namespace workload {
+
+LocalityReport
+analyzeLocality(const Trace &trace)
+{
+    LocalityReport report;
+    if (trace.empty())
+        return report;
+
+    std::map<std::uint32_t, geom::Lba> prev_end;
+    std::map<std::uint32_t, std::uint64_t> per_device;
+    std::vector<double> jumps;
+    std::unordered_set<std::uint64_t> regions;
+    std::uint64_t sequential = 0;
+    std::uint64_t runs = 0;
+    bool in_run = false;
+
+    double iat_sum = 0.0, iat_sq = 0.0;
+    std::uint64_t iat_n = 0;
+    sim::Tick prev_arrival = trace.front().arrival;
+
+    constexpr std::uint64_t kRegionSectors = 2048; // 1 MB
+    for (const auto &req : trace) {
+        ++per_device[req.device];
+        regions.insert((static_cast<std::uint64_t>(req.device) << 40) |
+                       (req.lba / kRegionSectors));
+
+        const auto it = prev_end.find(req.device);
+        if (it != prev_end.end()) {
+            if (req.lba == it->second) {
+                ++sequential;
+                if (!in_run) {
+                    ++runs;
+                    in_run = true;
+                }
+            } else {
+                in_run = false;
+                const double jump = req.lba > it->second
+                    ? static_cast<double>(req.lba - it->second)
+                    : static_cast<double>(it->second - req.lba);
+                jumps.push_back(jump);
+            }
+        }
+        prev_end[req.device] = req.lba + req.sectors;
+
+        if (&req != &trace.front()) {
+            const double iat =
+                sim::ticksToMs(req.arrival - prev_arrival);
+            iat_sum += iat;
+            iat_sq += iat * iat;
+            ++iat_n;
+        }
+        prev_arrival = req.arrival;
+    }
+
+    const double n = static_cast<double>(trace.size());
+    report.sequentialFraction = static_cast<double>(sequential) / n;
+    report.meanRunLength = runs
+        ? 1.0 + static_cast<double>(sequential) /
+            static_cast<double>(runs)
+        : 1.0;
+    if (!jumps.empty()) {
+        double sum = 0.0;
+        for (double j : jumps)
+            sum += j;
+        report.meanJumpSectors = sum / static_cast<double>(jumps.size());
+        std::nth_element(jumps.begin(),
+                         jumps.begin() + jumps.size() / 2, jumps.end());
+        report.medianJumpSectors = jumps[jumps.size() / 2];
+    }
+
+    std::uint64_t hottest = 0;
+    std::vector<std::uint64_t> loads;
+    for (const auto &[dev, count] : per_device) {
+        hottest = std::max(hottest, count);
+        loads.push_back(count);
+    }
+    report.hottestDeviceShare = static_cast<double>(hottest) / n;
+    std::sort(loads.rbegin(), loads.rend());
+    const std::size_t top = std::max<std::size_t>(
+        1, (loads.size() + 9) / 10);
+    std::uint64_t top_sum = 0;
+    for (std::size_t i = 0; i < top; ++i)
+        top_sum += loads[i];
+    report.top10PercentShare = static_cast<double>(top_sum) / n;
+
+    if (iat_n > 1 && iat_sum > 0.0) {
+        const double mean = iat_sum / static_cast<double>(iat_n);
+        const double var =
+            iat_sq / static_cast<double>(iat_n) - mean * mean;
+        report.interArrivalCv2 = std::max(0.0, var) / (mean * mean);
+    }
+    report.footprintRatio = static_cast<double>(regions.size()) / n;
+    return report;
+}
+
+} // namespace workload
+} // namespace idp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Trace locality and burstiness analysis.
+ *
+ * Quantifies the stream properties the workload models are calibrated
+ * on (docs/workloads.md): logical seek distances, sequential-run
+ * structure, device imbalance, and the inter-arrival squared
+ * coefficient of variation (CV^2 = 1 for Poisson; > 1 = bursty).
+ * Used by trace_tools and the workload tests.
+ */
+
+#ifndef IDP_WORKLOAD_LOCALITY_HH
+#define IDP_WORKLOAD_LOCALITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/request.hh"
+
+namespace idp {
+namespace workload {
+
+/** Locality/burstiness facts about a trace. */
+struct LocalityReport
+{
+    /** Fraction of requests exactly continuing the device's previous
+     *  request (lba == prev_end). */
+    double sequentialFraction = 0.0;
+    /** Mean sequential-run length, in requests (>= 1). */
+    double meanRunLength = 0.0;
+    /** Mean |lba - prev_end| jump within a device, sectors. */
+    double meanJumpSectors = 0.0;
+    /** Median jump, sectors. */
+    double medianJumpSectors = 0.0;
+    /** Share of requests landing on the busiest device. */
+    double hottestDeviceShare = 0.0;
+    /** Share on the busiest 10% of touched devices. */
+    double top10PercentShare = 0.0;
+    /** Inter-arrival squared coefficient of variation. */
+    double interArrivalCv2 = 0.0;
+    /** Unique 1 MB-aligned regions touched / total requests. */
+    double footprintRatio = 0.0;
+};
+
+/** Analyze @p trace (single pass + sort for the median). */
+LocalityReport analyzeLocality(const Trace &trace);
+
+} // namespace workload
+} // namespace idp
+
+#endif // IDP_WORKLOAD_LOCALITY_HH

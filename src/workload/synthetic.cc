@@ -1,0 +1,57 @@
+#include "workload/synthetic.hh"
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace idp {
+namespace workload {
+
+Trace
+generateSynthetic(const SyntheticParams &params)
+{
+    sim::simAssert(params.requests > 0, "synthetic: empty trace");
+    sim::simAssert(params.minSectors > 0 &&
+                       params.maxSectors >= params.minSectors,
+                   "synthetic: bad size range");
+    sim::simAssert(params.addressSpaceSectors > params.maxSectors,
+                   "synthetic: address space too small");
+    sim::simAssert(params.readFraction >= 0.0 &&
+                       params.readFraction <= 1.0 &&
+                       params.sequentialFraction >= 0.0 &&
+                       params.sequentialFraction <= 1.0,
+                   "synthetic: fractions must be in [0,1]");
+
+    sim::Rng rng(params.seed);
+    Trace trace;
+    trace.reserve(params.requests);
+
+    double clock_ms = 0.0;
+    geom::Lba prev_end = 0;
+    for (std::uint64_t i = 0; i < params.requests; ++i) {
+        clock_ms += rng.exponential(params.meanInterArrivalMs);
+
+        IoRequest req;
+        req.id = i;
+        req.arrival = sim::msToTicks(clock_ms);
+        req.device = 0;
+        req.isRead = rng.chance(params.readFraction);
+        req.sectors = static_cast<std::uint32_t>(rng.uniformInt(
+            static_cast<std::int64_t>(params.minSectors),
+            static_cast<std::int64_t>(params.maxSectors)));
+
+        const geom::Lba limit =
+            params.addressSpaceSectors - req.sectors;
+        if (i > 0 && rng.chance(params.sequentialFraction) &&
+            prev_end <= limit) {
+            req.lba = prev_end;
+        } else {
+            req.lba = rng.uniformInt(limit);
+        }
+        prev_end = req.lba + req.sectors;
+        trace.push_back(req);
+    }
+    return trace;
+}
+
+} // namespace workload
+} // namespace idp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Synthetic workload generator (paper Section 7.3).
+ *
+ * The paper's RAID experiments use DiskSim's synthetic generator with
+ * one million requests, 60% reads, 20% sequential accesses, and
+ * exponentially distributed inter-arrival times with means of 8, 4 and
+ * 1 ms (light / moderate / heavy). This module reproduces that
+ * configuration with a deterministic seeded generator.
+ */
+
+#ifndef IDP_WORKLOAD_SYNTHETIC_HH
+#define IDP_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+
+#include "workload/request.hh"
+
+namespace idp {
+namespace workload {
+
+/** Parameters of the synthetic stream. */
+struct SyntheticParams
+{
+    std::uint64_t requests = 1000000;
+    double meanInterArrivalMs = 4.0; ///< exponential mean
+    double readFraction = 0.6;       ///< paper: 60% reads
+    double sequentialFraction = 0.2; ///< paper: 20% sequential
+    /** Request size range, sectors (uniform; 8..64 = 4..32 KB). */
+    std::uint32_t minSectors = 8;
+    std::uint32_t maxSectors = 64;
+    /** Logical address space the requests cover, in sectors. */
+    std::uint64_t addressSpaceSectors = 1465ULL * 1000 * 1000;
+    std::uint64_t seed = 0x5EED5EED;
+};
+
+/** Generate the stream (sorted by arrival; ids are sequential). */
+Trace generateSynthetic(const SyntheticParams &params);
+
+} // namespace workload
+} // namespace idp
+
+#endif // IDP_WORKLOAD_SYNTHETIC_HH

@@ -1,0 +1,77 @@
+#include "workload/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace workload {
+
+namespace {
+constexpr const char *kHeader = "# idp-trace v1";
+}
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os << kHeader << '\n';
+    for (const auto &req : trace) {
+        os << req.arrival / sim::kTicksPerUs << ' ' << req.device << ' '
+           << req.lba << ' ' << req.sectors << ' '
+           << (req.isRead ? 'R' : 'W') << '\n';
+    }
+}
+
+void
+writeTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream os(path);
+    if (!os)
+        sim::fatal("cannot open trace file for writing: " + path);
+    writeTrace(os, trace);
+    if (!os)
+        sim::fatal("error writing trace file: " + path);
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    std::string line;
+    Trace trace;
+    std::uint64_t line_no = 0;
+    std::uint64_t id = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::uint64_t us = 0;
+        IoRequest req;
+        char rw = '?';
+        if (!(ls >> us >> req.device >> req.lba >> req.sectors >> rw) ||
+            (rw != 'R' && rw != 'W')) {
+            std::ostringstream msg;
+            msg << "malformed trace line " << line_no << ": " << line;
+            sim::fatal(msg.str());
+        }
+        req.arrival = us * sim::kTicksPerUs;
+        req.isRead = rw == 'R';
+        req.id = id++;
+        trace.push_back(req);
+    }
+    validateTrace(trace);
+    return trace;
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        sim::fatal("cannot open trace file: " + path);
+    return readTrace(is);
+}
+
+} // namespace workload
+} // namespace idp

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trace serialization.
+ *
+ * A simple line-oriented text format, one request per line:
+ *
+ *   # idp-trace v1
+ *   <arrival_us> <device> <lba> <sectors> <R|W>
+ *
+ * compatible in spirit with the SPC/UMass trace formats the paper's
+ * workloads come from. Deterministic round-trip: write then read
+ * yields an identical Trace.
+ */
+
+#ifndef IDP_WORKLOAD_TRACE_IO_HH
+#define IDP_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/request.hh"
+
+namespace idp {
+namespace workload {
+
+/** Serialize @p trace to @p os. */
+void writeTrace(std::ostream &os, const Trace &trace);
+
+/** Serialize to a file. Fatal on I/O errors. */
+void writeTraceFile(const std::string &path, const Trace &trace);
+
+/**
+ * Parse a trace from @p is. Fatal on malformed input. Request ids are
+ * assigned sequentially on load.
+ */
+Trace readTrace(std::istream &is);
+
+/** Parse from a file. Fatal on I/O errors. */
+Trace readTraceFile(const std::string &path);
+
+} // namespace workload
+} // namespace idp
+
+#endif // IDP_WORKLOAD_TRACE_IO_HH

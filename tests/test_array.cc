@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Storage-array tests: layouts (pass-through, concat, RAID-0/1/5),
+ * split/join correctness, power aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "array/storage_array.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace idp;
+using array::ArrayParams;
+using array::Layout;
+using array::StorageArray;
+using workload::IoRequest;
+
+disk::DriveSpec
+smallDrive()
+{
+    return disk::enterpriseDrive(1.0, 10000, 2);
+}
+
+struct Harness
+{
+    sim::Simulator simul;
+    std::uint64_t completions = 0;
+    StorageArray arr;
+
+    explicit Harness(const ArrayParams &params)
+        : arr(simul, params,
+              [this](const IoRequest &, sim::Tick) { ++completions; })
+    {
+    }
+
+    void
+    submitAt(sim::Tick when, IoRequest req)
+    {
+        req.arrival = when;
+        simul.schedule(when, [this, req] { arr.submit(req); });
+    }
+};
+
+IoRequest
+makeReq(std::uint64_t id, std::uint32_t device, geom::Lba lba,
+        std::uint32_t sectors, bool is_read)
+{
+    IoRequest r;
+    r.id = id;
+    r.device = device;
+    r.lba = lba;
+    r.sectors = sectors;
+    r.isRead = is_read;
+    return r;
+}
+
+TEST(ArrayPassThrough, RoutesByDevice)
+{
+    ArrayParams p;
+    p.layout = Layout::PassThrough;
+    p.disks = 3;
+    p.drive = smallDrive();
+    Harness h(p);
+    h.submitAt(0, makeReq(1, 0, 1000, 8, true));
+    h.submitAt(0, makeReq(2, 2, 1000, 8, true));
+    h.submitAt(0, makeReq(3, 2, 9000, 8, true));
+    h.simul.run();
+    EXPECT_EQ(h.completions, 3u);
+    EXPECT_EQ(h.arr.diskAt(0).stats().arrivals, 1u);
+    EXPECT_EQ(h.arr.diskAt(1).stats().arrivals, 0u);
+    EXPECT_EQ(h.arr.diskAt(2).stats().arrivals, 2u);
+}
+
+TEST(ArrayPassThrough, LogicalStatsRecorded)
+{
+    ArrayParams p;
+    p.layout = Layout::PassThrough;
+    p.disks = 2;
+    p.drive = smallDrive();
+    Harness h(p);
+    for (int i = 0; i < 50; ++i)
+        h.submitAt(i * sim::kTicksPerMs,
+                   makeReq(i, i % 2, 512 * i, 8, true));
+    h.simul.run();
+    EXPECT_EQ(h.arr.stats().logicalArrivals, 50u);
+    EXPECT_EQ(h.arr.stats().logicalCompletions, 50u);
+    EXPECT_EQ(h.arr.stats().responseHist.total(), 50u);
+    EXPECT_TRUE(h.arr.idle());
+}
+
+TEST(ArrayConcat, MapsDevicesSequentially)
+{
+    // Two 0.3 GB traced devices concatenated onto one 1 GB disk.
+    ArrayParams p;
+    p.layout = Layout::Concat;
+    p.disks = 1;
+    p.drive = smallDrive();
+    const std::uint64_t dev_sectors = 300ULL * 1000 * 1000 / 512;
+    p.deviceSectors = {dev_sectors, dev_sectors};
+    Harness h(p);
+    h.submitAt(0, makeReq(1, 0, 100, 8, true));
+    h.submitAt(0, makeReq(2, 1, 100, 8, true));
+    h.simul.run();
+    EXPECT_EQ(h.completions, 2u);
+    EXPECT_EQ(h.arr.diskAt(0).stats().arrivals, 2u);
+    EXPECT_EQ(h.arr.logicalSectors(), 2 * dev_sectors);
+}
+
+TEST(ArrayConcat, RejectsOversizedDevices)
+{
+    ArrayParams p;
+    p.layout = Layout::Concat;
+    p.disks = 1;
+    p.drive = smallDrive();
+    // 10 GB of traced devices cannot fit a 1 GB disk.
+    p.deviceSectors = {10ULL * 1000 * 1000 * 1000 / 512,
+                       10ULL * 1000 * 1000 * 1000 / 512};
+    sim::Simulator simul;
+    EXPECT_DEATH(
+        { StorageArray arr(simul, p); },
+        "Concat devices exceed disk capacity");
+}
+
+TEST(ArrayRaid0, SplitsAcrossStripeBoundary)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid0;
+    p.disks = 2;
+    p.drive = smallDrive();
+    p.stripeSectors = 16;
+    Harness h(p);
+    // 8 sectors starting 4 before a stripe boundary: spans 2 disks.
+    h.submitAt(0, makeReq(1, 0, 12, 8, true));
+    h.simul.run();
+    EXPECT_EQ(h.completions, 1u);
+    EXPECT_EQ(h.arr.diskAt(0).stats().arrivals +
+                  h.arr.diskAt(1).stats().arrivals,
+              2u);
+    EXPECT_EQ(h.arr.diskAt(0).stats().arrivals, 1u);
+    EXPECT_EQ(h.arr.diskAt(1).stats().arrivals, 1u);
+}
+
+TEST(ArrayRaid0, ContainedRequestSingleDisk)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid0;
+    p.disks = 4;
+    p.drive = smallDrive();
+    p.stripeSectors = 64;
+    Harness h(p);
+    h.submitAt(0, makeReq(1, 0, 64, 8, true)); // inside stripe 1
+    h.simul.run();
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < 4; ++i)
+        total += h.arr.diskAt(i).stats().arrivals;
+    EXPECT_EQ(total, 1u);
+    EXPECT_EQ(h.arr.diskAt(1).stats().arrivals, 1u);
+}
+
+TEST(ArrayRaid0, RoundRobinStripes)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid0;
+    p.disks = 4;
+    p.drive = smallDrive();
+    p.stripeSectors = 16;
+    Harness h(p);
+    for (std::uint32_t s = 0; s < 8; ++s)
+        h.submitAt(s * sim::kTicksPerMs,
+                   makeReq(s, 0, s * 16, 8, true));
+    h.simul.run();
+    for (std::uint32_t i = 0; i < 4; ++i)
+        EXPECT_EQ(h.arr.diskAt(i).stats().arrivals, 2u);
+}
+
+TEST(ArrayRaid0, LogicalCapacityIsSum)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid0;
+    p.disks = 4;
+    p.drive = smallDrive();
+    Harness h(p);
+    EXPECT_EQ(h.arr.logicalSectors(),
+              4 * h.arr.diskAt(0).geometry().totalSectors());
+}
+
+TEST(ArrayRaid1, WritesGoToBothReplicas)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid1;
+    p.disks = 2;
+    p.drive = smallDrive();
+    Harness h(p);
+    h.submitAt(0, makeReq(1, 0, 1000, 8, false));
+    h.simul.run();
+    EXPECT_EQ(h.completions, 1u);
+    EXPECT_EQ(h.arr.diskAt(0).stats().arrivals, 1u);
+    EXPECT_EQ(h.arr.diskAt(1).stats().arrivals, 1u);
+}
+
+TEST(ArrayRaid1, ReadsUseOneReplica)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid1;
+    p.disks = 2;
+    p.drive = smallDrive();
+    Harness h(p);
+    h.submitAt(0, makeReq(1, 0, 1000, 8, true));
+    h.simul.run();
+    EXPECT_EQ(h.arr.diskAt(0).stats().arrivals +
+                  h.arr.diskAt(1).stats().arrivals,
+              1u);
+}
+
+TEST(ArrayRaid1, ReadsSpreadOverReplicas)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid1;
+    p.disks = 2;
+    p.drive = smallDrive();
+    Harness h(p);
+    for (int i = 0; i < 40; ++i)
+        h.submitAt(0, makeReq(i, 0, 1000 + 8 * i, 8, true));
+    h.simul.run();
+    // Queue-depth steering must use both replicas for a burst.
+    EXPECT_GT(h.arr.diskAt(0).stats().arrivals, 5u);
+    EXPECT_GT(h.arr.diskAt(1).stats().arrivals, 5u);
+}
+
+TEST(ArrayRaid1, HalfCapacity)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid1;
+    p.disks = 4;
+    p.drive = smallDrive();
+    Harness h(p);
+    EXPECT_EQ(h.arr.logicalSectors(),
+              2 * h.arr.diskAt(0).geometry().totalSectors());
+}
+
+TEST(ArrayRaid5, SmallWriteIsReadModifyWrite)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid5;
+    p.disks = 4;
+    p.drive = smallDrive();
+    p.stripeSectors = 16;
+    Harness h(p);
+    h.submitAt(0, makeReq(1, 0, 0, 8, false));
+    h.simul.run();
+    EXPECT_EQ(h.completions, 1u);
+    // 2 reads (old data + old parity) + 2 writes (new data + parity).
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < 4; ++i)
+        total += h.arr.diskAt(i).stats().arrivals;
+    EXPECT_EQ(total, 4u);
+}
+
+TEST(ArrayRaid5, ReadTouchesOnlyDataDisk)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid5;
+    p.disks = 4;
+    p.drive = smallDrive();
+    p.stripeSectors = 16;
+    Harness h(p);
+    h.submitAt(0, makeReq(1, 0, 0, 8, true));
+    h.simul.run();
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < 4; ++i)
+        total += h.arr.diskAt(i).stats().arrivals;
+    EXPECT_EQ(total, 1u);
+}
+
+TEST(ArrayRaid5, ParityRotates)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid5;
+    p.disks = 3;
+    p.drive = smallDrive();
+    p.stripeSectors = 16;
+    Harness h(p);
+    // Write one unit in each of the first three parity rows; parity
+    // lands on a different disk each row, so all disks see traffic.
+    const std::uint64_t row_sectors = 16 * 2; // (disks-1) units/row
+    for (std::uint32_t r = 0; r < 3; ++r)
+        h.submitAt(r * 20 * sim::kTicksPerMs,
+                   makeReq(r, 0, r * row_sectors, 8, false));
+    h.simul.run();
+    for (std::uint32_t i = 0; i < 3; ++i)
+        EXPECT_GT(h.arr.diskAt(i).stats().arrivals, 0u)
+            << "disk " << i;
+}
+
+TEST(ArrayRaid5, CapacityExcludesParity)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid5;
+    p.disks = 5;
+    p.drive = smallDrive();
+    Harness h(p);
+    EXPECT_EQ(h.arr.logicalSectors(),
+              4 * h.arr.diskAt(0).geometry().totalSectors());
+}
+
+TEST(ArrayPower, AggregatesAcrossDisks)
+{
+    ArrayParams p;
+    p.layout = Layout::PassThrough;
+    p.disks = 4;
+    p.drive = smallDrive();
+    Harness h(p);
+    for (int i = 0; i < 40; ++i)
+        h.submitAt(i * sim::kTicksPerMs,
+                   makeReq(i, i % 4, 1000 + 64 * i, 8, true));
+    const sim::Tick end = h.simul.run();
+    const auto power = h.arr.finishPower();
+    EXPECT_NEAR(power.wallSeconds, sim::ticksToSeconds(end), 1e-9);
+    // Four spinning disks: at least 4x one idle drive's power.
+    power::PowerModel one(smallDrive().power);
+    EXPECT_GE(power.totalAvgW(), 4 * one.idleW() * 0.99);
+}
+
+TEST(ArrayPower, MostlyIdleArrayDominatedByIdleMode)
+{
+    // The paper's Figure 3 observation: even under I/O load, most of
+    // an MD array's power is idle-mode power.
+    ArrayParams p;
+    p.layout = Layout::PassThrough;
+    p.disks = 8;
+    p.drive = smallDrive();
+    Harness h(p);
+    for (int i = 0; i < 100; ++i)
+        h.submitAt(i * 10 * sim::kTicksPerMs,
+                   makeReq(i, i % 8, 512 * i, 8, true));
+    h.simul.run();
+    const auto power = h.arr.finishPower();
+    EXPECT_GT(power.modeAvgW(stats::DiskMode::Idle),
+              power.totalAvgW() * 0.5);
+}
+
+TEST(ArrayStress, MixedLoadDrains)
+{
+    ArrayParams p;
+    p.layout = Layout::Raid0;
+    p.disks = 4;
+    p.drive = disk::makeIntraDiskParallel(smallDrive(), 2);
+    p.stripeSectors = 64;
+    Harness h(p);
+    sim::Rng rng(55);
+    const std::uint64_t space = h.arr.logicalSectors() - 512;
+    for (int i = 0; i < 2000; ++i)
+        h.submitAt(rng.uniformInt(2000ULL * sim::kTicksPerMs),
+                   makeReq(i, 0, rng.uniformInt(space), 1 + i % 128,
+                           rng.chance(0.6)));
+    h.simul.run();
+    EXPECT_EQ(h.completions, 2000u);
+    EXPECT_TRUE(h.arr.idle());
+}
+
+} // namespace

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Host-interconnect tests: channel occupancy arithmetic, FIFO
+ * backlog, multi-channel spreading, and array integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "array/storage_array.hh"
+#include "bus/bus.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace idp;
+using bus::Bus;
+using bus::BusParams;
+
+TEST(Bus, TransferTicksArithmetic)
+{
+    sim::Simulator simul;
+    BusParams p;
+    p.bandwidthMBps = 100.0;
+    p.perTransferOverheadMs = 0.0;
+    Bus bus(simul, p);
+    // 1 MB at 100 MB/s = 10 ms.
+    EXPECT_EQ(bus.transferTicks(1000000), sim::msToTicks(10.0));
+}
+
+TEST(Bus, OverheadAdds)
+{
+    sim::Simulator simul;
+    BusParams p;
+    p.bandwidthMBps = 100.0;
+    p.perTransferOverheadMs = 0.5;
+    Bus bus(simul, p);
+    EXPECT_EQ(bus.transferTicks(0), sim::msToTicks(0.5));
+}
+
+TEST(Bus, SingleChannelFifo)
+{
+    sim::Simulator simul;
+    BusParams p;
+    p.bandwidthMBps = 1.0; // 1 MB/s: 1 ms per KB
+    p.perTransferOverheadMs = 0.0;
+    Bus bus(simul, p);
+    std::vector<int> order;
+    std::vector<sim::Tick> at;
+    simul.schedule(0, [&] {
+        bus.transfer(1000, [&] {
+            order.push_back(1);
+            at.push_back(simul.now());
+        });
+        bus.transfer(1000, [&] {
+            order.push_back(2);
+            at.push_back(simul.now());
+        });
+    });
+    simul.run();
+    ASSERT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(at[0], sim::msToTicks(1.0));
+    EXPECT_EQ(at[1], sim::msToTicks(2.0)); // queued behind the first
+    EXPECT_EQ(bus.stats().transfers, 2u);
+    EXPECT_EQ(bus.stats().queueTicks, sim::msToTicks(1.0));
+}
+
+TEST(Bus, TwoChannelsRunInParallel)
+{
+    sim::Simulator simul;
+    BusParams p;
+    p.bandwidthMBps = 1.0;
+    p.perTransferOverheadMs = 0.0;
+    p.channels = 2;
+    Bus bus(simul, p);
+    std::vector<sim::Tick> at;
+    simul.schedule(0, [&] {
+        bus.transfer(1000, [&] { at.push_back(simul.now()); });
+        bus.transfer(1000, [&] { at.push_back(simul.now()); });
+    });
+    simul.run();
+    ASSERT_EQ(at.size(), 2u);
+    EXPECT_EQ(at[0], sim::msToTicks(1.0));
+    EXPECT_EQ(at[1], sim::msToTicks(1.0)); // no queueing
+    EXPECT_EQ(bus.stats().queueTicks, 0u);
+}
+
+TEST(Bus, UtilizationTracksBusyTime)
+{
+    sim::Simulator simul;
+    BusParams p;
+    p.bandwidthMBps = 1.0;
+    p.perTransferOverheadMs = 0.0;
+    Bus bus(simul, p);
+    simul.schedule(0, [&] { bus.transfer(1000, [] {}); });
+    simul.schedule(sim::msToTicks(4.0), [] {}); // extend horizon
+    simul.run();
+    EXPECT_NEAR(bus.utilization(), 0.25, 1e-9);
+}
+
+TEST(Bus, StatsCountBytes)
+{
+    sim::Simulator simul;
+    Bus bus(simul, BusParams{});
+    simul.schedule(0, [&] {
+        bus.transfer(4096, [] {});
+        bus.transfer(8192, [] {});
+    });
+    simul.run();
+    EXPECT_EQ(bus.stats().bytesMoved, 12288u);
+}
+
+TEST(Bus, RejectsNonsense)
+{
+    sim::Simulator simul;
+    BusParams bad;
+    bad.bandwidthMBps = 0.0;
+    EXPECT_DEATH(Bus(simul, bad), "bandwidth");
+}
+
+// --- array integration ---------------------------------------------
+
+TEST(BusArray, FastBusBarelyChangesResults)
+{
+    // The paper's assumption: the channel has ample bandwidth. With a
+    // 300 MB/s link, small-request results must be nearly identical
+    // with and without the bus model.
+    workload::IoRequest probe;
+    double means[2];
+    for (int variant = 0; variant < 2; ++variant) {
+        sim::Simulator simul;
+        array::ArrayParams p;
+        p.layout = array::Layout::Raid0;
+        p.disks = 2;
+        p.drive = disk::enterpriseDrive(1.0, 10000, 2);
+        p.useBus = variant == 1;
+        stats::SampleSet resp;
+        array::StorageArray arr(
+            simul, p,
+            [&resp](const workload::IoRequest &r, sim::Tick t) {
+                resp.add(sim::ticksToMs(t - r.arrival));
+            });
+        sim::Rng rng(61);
+        const std::uint64_t space = arr.logicalSectors() - 64;
+        for (int i = 0; i < 500; ++i) {
+            workload::IoRequest req;
+            req.id = i;
+            req.arrival = i * 4 * sim::kTicksPerMs;
+            req.lba = rng.uniformInt(space);
+            req.sectors = 16;
+            req.isRead = rng.chance(0.6);
+            simul.schedule(req.arrival,
+                           [&arr, req] { arr.submit(req); });
+        }
+        simul.run();
+        means[variant] = resp.mean();
+    }
+    EXPECT_NEAR(means[1], means[0], means[0] * 0.05);
+}
+
+TEST(BusArray, SlowBusBecomesBottleneck)
+{
+    // Starve the link: a 2 MB/s bus turns the same workload into a
+    // bus-bound system, which the model must expose.
+    sim::Simulator simul;
+    array::ArrayParams p;
+    p.layout = array::Layout::Raid0;
+    p.disks = 2;
+    p.drive = disk::enterpriseDrive(1.0, 10000, 2);
+    p.useBus = true;
+    p.bus.bandwidthMBps = 2.0;
+    stats::SampleSet resp;
+    array::StorageArray arr(
+        simul, p, [&resp](const workload::IoRequest &r, sim::Tick t) {
+            resp.add(sim::ticksToMs(t - r.arrival));
+        });
+    sim::Rng rng(62);
+    const std::uint64_t space = arr.logicalSectors() - 64;
+    for (int i = 0; i < 300; ++i) {
+        workload::IoRequest req;
+        req.id = i;
+        req.arrival = i * 4 * sim::kTicksPerMs;
+        req.lba = rng.uniformInt(space);
+        req.sectors = 16; // 8 KB every 4 ms = 2 MB/s offered
+        req.isRead = true;
+        simul.schedule(req.arrival, [&arr, req] { arr.submit(req); });
+    }
+    simul.run();
+    ASSERT_NE(arr.hostBus(), nullptr);
+    EXPECT_GT(arr.hostBus()->utilization(), 0.6);
+    EXPECT_GT(resp.mean(), 8.0); // queueing beyond pure disk service
+    EXPECT_EQ(arr.stats().logicalCompletions, 300u);
+}
+
+TEST(BusArray, WritesAndRaid5TraverseBus)
+{
+    sim::Simulator simul;
+    array::ArrayParams p;
+    p.layout = array::Layout::Raid5;
+    p.disks = 4;
+    p.drive = disk::enterpriseDrive(1.0, 10000, 2);
+    p.useBus = true;
+    std::uint64_t completions = 0;
+    array::StorageArray arr(
+        simul, p,
+        [&completions](const workload::IoRequest &, sim::Tick) {
+            ++completions;
+        });
+    for (int i = 0; i < 20; ++i) {
+        workload::IoRequest req;
+        req.id = i;
+        req.arrival = i * 20 * sim::kTicksPerMs;
+        req.lba = 1000 + i * 64;
+        req.sectors = 8;
+        req.isRead = i % 2 == 0;
+        simul.schedule(req.arrival, [&arr, req] { arr.submit(req); });
+    }
+    simul.run();
+    EXPECT_EQ(completions, 20u);
+    EXPECT_TRUE(arr.idle());
+    EXPECT_GT(arr.hostBus()->stats().transfers, 20u);
+}
+
+} // namespace

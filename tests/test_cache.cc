@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Disk cache tests: hit/miss semantics, LRU recycling, read-ahead,
+ * write-through invalidation, and write-back destaging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/disk_cache.hh"
+
+namespace {
+
+using namespace idp;
+using cache::CacheParams;
+using cache::DiskCache;
+
+CacheParams
+smallCache()
+{
+    CacheParams p;
+    p.cacheBytes = 16 * 1024; // 32 sectors
+    p.segments = 4;           // 8 sectors per segment
+    p.readAheadSectors = 4;
+    return p;
+}
+
+TEST(DiskCache, SegmentSizing)
+{
+    DiskCache c(smallCache());
+    EXPECT_EQ(c.segmentSectors(), 8u);
+}
+
+TEST(DiskCache, MissThenHit)
+{
+    DiskCache c(smallCache());
+    EXPECT_FALSE(c.readLookup(100, 4));
+    c.installRead(100, 4);
+    EXPECT_TRUE(c.readLookup(100, 4));
+    EXPECT_EQ(c.stats().readHits, 1u);
+    EXPECT_EQ(c.stats().readMisses, 1u);
+}
+
+TEST(DiskCache, ReadAheadServesSequentialFollower)
+{
+    DiskCache c(smallCache());
+    c.installRead(100, 4); // stages 100..108 (4 + 4 read-ahead)
+    EXPECT_TRUE(c.readLookup(104, 4));
+}
+
+TEST(DiskCache, PartialOverlapIsMiss)
+{
+    DiskCache c(smallCache());
+    c.installRead(100, 4); // covers 100..108
+    EXPECT_FALSE(c.readLookup(106, 4)); // 106..110 exceeds segment
+}
+
+TEST(DiskCache, InstallTruncatedToSegment)
+{
+    DiskCache c(smallCache());
+    c.installRead(0, 100); // larger than the 8-sector segment
+    EXPECT_TRUE(c.readLookup(0, 8));
+    EXPECT_FALSE(c.readLookup(0, 9));
+}
+
+TEST(DiskCache, LruEviction)
+{
+    DiskCache c(smallCache());
+    // Fill all four segments.
+    c.installRead(0, 8);
+    c.installRead(100, 8);
+    c.installRead(200, 8);
+    c.installRead(300, 8);
+    // Touch segment 0 so it is most-recently used.
+    EXPECT_TRUE(c.readLookup(0, 1));
+    // Install a fifth run; LRU victim should be the run at 100.
+    c.installRead(400, 8);
+    EXPECT_TRUE(c.readLookup(0, 1));
+    EXPECT_FALSE(c.contains(100, 1));
+    EXPECT_TRUE(c.contains(200, 1));
+    EXPECT_TRUE(c.contains(400, 1));
+}
+
+TEST(DiskCache, WriteThroughInvalidatesOverlap)
+{
+    DiskCache c(smallCache());
+    c.installRead(100, 8);
+    EXPECT_TRUE(c.readLookup(100, 8));
+    EXPECT_FALSE(c.write(104, 2)); // write-through: must hit media
+    EXPECT_FALSE(c.contains(100, 1));
+    EXPECT_EQ(c.stats().writeMisses, 1u);
+}
+
+TEST(DiskCache, WriteThroughDisjointKeepsData)
+{
+    DiskCache c(smallCache());
+    c.installRead(100, 8);
+    EXPECT_FALSE(c.write(500, 2));
+    EXPECT_TRUE(c.contains(100, 8));
+}
+
+TEST(DiskCache, WriteBackAbsorbsAndDestages)
+{
+    CacheParams p = smallCache();
+    p.writeBack = true;
+    DiskCache c(p);
+    EXPECT_TRUE(c.write(100, 4));
+    EXPECT_EQ(c.dirtyCount(), 1u);
+    EXPECT_EQ(c.stats().writeHits, 1u);
+    const auto run = c.popDirty();
+    ASSERT_TRUE(run.has_value());
+    EXPECT_EQ(run->lba, 100u);
+    EXPECT_EQ(run->sectors, 4u);
+    EXPECT_EQ(c.dirtyCount(), 0u);
+    // The destaged data stays cached clean.
+    EXPECT_TRUE(c.contains(100, 4));
+}
+
+TEST(DiskCache, WriteBackOversizeBypasses)
+{
+    CacheParams p = smallCache();
+    p.writeBack = true;
+    DiskCache c(p);
+    EXPECT_FALSE(c.write(0, 100)); // larger than a segment
+    EXPECT_EQ(c.dirtyCount(), 0u);
+}
+
+TEST(DiskCache, PopDirtyOldestFirst)
+{
+    CacheParams p = smallCache();
+    p.writeBack = true;
+    DiskCache c(p);
+    EXPECT_TRUE(c.write(100, 2));
+    EXPECT_TRUE(c.write(200, 2));
+    const auto first = c.popDirty();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->lba, 100u);
+    const auto second = c.popDirty();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->lba, 200u);
+    EXPECT_FALSE(c.popDirty().has_value());
+}
+
+TEST(DiskCache, WriteBackReadHitOnDirty)
+{
+    CacheParams p = smallCache();
+    p.writeBack = true;
+    DiskCache c(p);
+    EXPECT_TRUE(c.write(100, 4));
+    EXPECT_TRUE(c.readLookup(100, 4));
+}
+
+TEST(DiskCache, OverwriteReplacesDirtyRun)
+{
+    CacheParams p = smallCache();
+    p.writeBack = true;
+    DiskCache c(p);
+    EXPECT_TRUE(c.write(100, 4));
+    EXPECT_TRUE(c.write(100, 4)); // same region again
+    EXPECT_EQ(c.dirtyCount(), 1u);
+}
+
+TEST(DiskCache, ClearDropsEverything)
+{
+    DiskCache c(smallCache());
+    c.installRead(100, 8);
+    c.clear();
+    EXPECT_FALSE(c.contains(100, 1));
+}
+
+TEST(DiskCache, HitRateAccounting)
+{
+    DiskCache c(smallCache());
+    c.installRead(0, 8);
+    c.readLookup(0, 1);
+    c.readLookup(1000, 1);
+    EXPECT_DOUBLE_EQ(c.stats().readHitRate(), 0.5);
+}
+
+TEST(DiskCache, BigRealisticConfigEightMb)
+{
+    CacheParams p;
+    p.cacheBytes = 8ULL * 1024 * 1024;
+    p.segments = 16;
+    DiskCache c(p);
+    EXPECT_EQ(c.segmentSectors(), 1024u); // 512 KB per segment
+    c.installRead(12345, 256);
+    EXPECT_TRUE(c.readLookup(12345, 256));
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Closed-loop driver tests, including the interactive response-time
+ * law (N = X * (R + Z)) as a simulator validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/closed_loop.hh"
+
+namespace {
+
+using namespace idp;
+using core::ClosedLoopParams;
+using core::ClosedLoopResult;
+
+core::SystemConfig
+oneDisk(std::uint32_t actuators = 1)
+{
+    disk::DriveSpec drive = disk::enterpriseDrive(2.0, 10000, 2);
+    if (actuators > 1)
+        drive = disk::makeIntraDiskParallel(drive, actuators);
+    return core::makeRaid0System("cl", drive, 1);
+}
+
+TEST(ClosedLoop, RunsAndReports)
+{
+    ClosedLoopParams p;
+    p.workers = 4;
+    p.thinkMs = 30.0;
+    p.horizonSeconds = 10.0;
+    const ClosedLoopResult r = core::runClosedLoop(oneDisk(), p);
+    EXPECT_GT(r.completions, 100u);
+    EXPECT_GT(r.throughputIops, 0.0);
+    EXPECT_GT(r.meanResponseMs, 0.0);
+    EXPECT_GE(r.p90ResponseMs, r.meanResponseMs * 0.5);
+    EXPECT_GT(r.power.totalAvgW(), 0.0);
+}
+
+TEST(ClosedLoop, InteractiveResponseTimeLaw)
+{
+    // N = X * (R + Z): the measured throughput and response time must
+    // imply the configured population.
+    ClosedLoopParams p;
+    p.workers = 6;
+    p.thinkMs = 25.0;
+    p.horizonSeconds = 60.0;
+    const ClosedLoopResult r = core::runClosedLoop(oneDisk(), p);
+    EXPECT_NEAR(r.impliedWorkers(p.thinkMs),
+                static_cast<double>(p.workers),
+                static_cast<double>(p.workers) * 0.06);
+}
+
+TEST(ClosedLoop, ThroughputSaturatesWithPopulation)
+{
+    // Adding workers beyond the service capacity raises response
+    // time, not throughput.
+    ClosedLoopParams base;
+    base.thinkMs = 5.0;
+    base.horizonSeconds = 15.0;
+
+    ClosedLoopParams few = base;
+    few.workers = 2;
+    ClosedLoopParams many = base;
+    many.workers = 32;
+
+    const ClosedLoopResult r_few =
+        core::runClosedLoop(oneDisk(), few);
+    const ClosedLoopResult r_many =
+        core::runClosedLoop(oneDisk(), many);
+    EXPECT_GT(r_many.throughputIops, r_few.throughputIops);
+    EXPECT_GT(r_many.meanResponseMs, r_few.meanResponseMs * 2.0);
+    // One 10k drive under C-LOOK: saturation in the low hundreds.
+    EXPECT_LT(r_many.throughputIops, 600.0);
+}
+
+TEST(ClosedLoop, MoreArmsMoreInteractiveThroughput)
+{
+    ClosedLoopParams p;
+    p.workers = 24;
+    p.thinkMs = 5.0;
+    p.horizonSeconds = 15.0;
+    const ClosedLoopResult conv =
+        core::runClosedLoop(oneDisk(1), p);
+    const ClosedLoopResult sa4 = core::runClosedLoop(oneDisk(4), p);
+    EXPECT_GT(sa4.throughputIops, conv.throughputIops * 1.2);
+    EXPECT_LT(sa4.meanResponseMs, conv.meanResponseMs);
+}
+
+TEST(ClosedLoop, Deterministic)
+{
+    ClosedLoopParams p;
+    p.workers = 3;
+    p.horizonSeconds = 5.0;
+    const ClosedLoopResult a = core::runClosedLoop(oneDisk(), p);
+    const ClosedLoopResult b = core::runClosedLoop(oneDisk(), p);
+    EXPECT_EQ(a.completions, b.completions);
+    EXPECT_DOUBLE_EQ(a.meanResponseMs, b.meanResponseMs);
+}
+
+} // namespace

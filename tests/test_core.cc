@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Core experiment-layer tests: system builders, the trace runner, and
+ * the qualitative paper behaviours at reduced scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/experiment.hh"
+#include "workload/synthetic.hh"
+
+namespace {
+
+using namespace idp;
+using namespace idp::core;
+using workload::Commercial;
+
+TEST(Builders, MdMatchesTable2)
+{
+    const SystemConfig md = makeMdSystem(Commercial::Financial);
+    EXPECT_EQ(md.name, "MD");
+    EXPECT_EQ(md.array.layout, array::Layout::PassThrough);
+    EXPECT_EQ(md.array.disks, 24u);
+    EXPECT_EQ(md.array.drive.rpm, 10000u);
+    EXPECT_EQ(md.array.drive.geometry.platters, 4u);
+}
+
+TEST(Builders, HcsdIsOneBarracuda)
+{
+    const SystemConfig hcsd = makeHcsdSystem(Commercial::Websearch);
+    EXPECT_EQ(hcsd.array.layout, array::Layout::Concat);
+    EXPECT_EQ(hcsd.array.disks, 1u);
+    EXPECT_EQ(hcsd.array.drive.rpm, 7200u);
+    EXPECT_EQ(hcsd.array.deviceSectors.size(), 6u);
+    // 6 x 19.07 GB fits in 750 GB.
+    std::uint64_t total = 0;
+    for (auto s : hcsd.array.deviceSectors)
+        total += s;
+    EXPECT_LT(total * geom::kSectorBytes, 750ULL * 1000000000);
+}
+
+TEST(Builders, SaSystemsNameAndConfigure)
+{
+    const SystemConfig sa2 = makeSaSystem(Commercial::TpcC, 2);
+    EXPECT_EQ(sa2.name, "HC-SD-SA(2)");
+    EXPECT_EQ(sa2.array.drive.dash.armAssemblies, 2u);
+    EXPECT_EQ(sa2.array.drive.maxConcurrentSeeks, 1u);
+    EXPECT_EQ(sa2.array.drive.maxConcurrentTransfers, 1u);
+
+    const SystemConfig sa4_5200 = makeSaSystem(Commercial::TpcC, 4,
+                                               5200);
+    EXPECT_EQ(sa4_5200.name, "HC-SD-SA(4)/5200");
+    EXPECT_EQ(sa4_5200.array.drive.rpm, 5200u);
+}
+
+TEST(Builders, DashStringForms)
+{
+    disk::DashConfig dash;
+    EXPECT_EQ(dash.str(), "D1A1S1H1");
+    EXPECT_TRUE(dash.conventional());
+    dash.armAssemblies = 4;
+    EXPECT_EQ(dash.str(), "D1A4S1H1");
+    EXPECT_FALSE(dash.conventional());
+    EXPECT_EQ(dash.dataPaths(), 4u);
+}
+
+TEST(Runner, DrainsAndCounts)
+{
+    workload::SyntheticParams wp;
+    wp.requests = 2000;
+    wp.meanInterArrivalMs = 6.0;
+    wp.addressSpaceSectors = 1000000;
+    const auto trace = workload::generateSynthetic(wp);
+
+    const SystemConfig sys = makeRaid0System(
+        "one-disk", disk::enterpriseDrive(2.0, 10000, 2), 1);
+    const RunResult r = runTrace(trace, sys);
+    EXPECT_EQ(r.requests, 2000u);
+    EXPECT_EQ(r.completions, 2000u);
+    EXPECT_GT(r.meanResponseMs, 0.0);
+    EXPECT_GE(r.p99ResponseMs, r.p90ResponseMs);
+    EXPECT_GT(r.power.totalAvgW(), 0.0);
+    EXPECT_GT(r.throughputIops, 0.0);
+    EXPECT_EQ(r.responseHist.total(), 2000u);
+}
+
+TEST(Runner, MoreDisksFasterUnderLoad)
+{
+    workload::SyntheticParams wp;
+    wp.requests = 4000;
+    wp.meanInterArrivalMs = 2.0;
+    wp.addressSpaceSectors = 4000000;
+    const auto trace = workload::generateSynthetic(wp);
+
+    const disk::DriveSpec drive = disk::enterpriseDrive(2.0, 10000, 2);
+    const RunResult one =
+        runTrace(trace, makeRaid0System("d1", drive, 1));
+    const RunResult four =
+        runTrace(trace, makeRaid0System("d4", drive, 4));
+    EXPECT_LT(four.p90ResponseMs, one.p90ResponseMs);
+    // ... at higher power.
+    EXPECT_GT(four.power.totalAvgW(), one.power.totalAvgW() * 2.0);
+}
+
+TEST(Runner, IntraDiskParallelismHelpsUnderLoad)
+{
+    workload::SyntheticParams wp;
+    wp.requests = 4000;
+    wp.meanInterArrivalMs = 3.0;
+    wp.addressSpaceSectors = 4000000;
+    const auto trace = workload::generateSynthetic(wp);
+
+    const disk::DriveSpec conv = disk::enterpriseDrive(2.0, 10000, 2);
+    const disk::DriveSpec sa4 = disk::makeIntraDiskParallel(conv, 4);
+    const RunResult r1 =
+        runTrace(trace, makeRaid0System("conv", conv, 1));
+    const RunResult r4 =
+        runTrace(trace, makeRaid0System("sa4", sa4, 1));
+    EXPECT_LT(r4.meanResponseMs, r1.meanResponseMs);
+    // (Rotational-latency means are not compared here: the saturated
+    // conventional drive's deep queue lets SPTF cherry-pick short
+    // waits, so the per-access rot statistic is queue-depth-
+    // confounded. The idle-drive rot reduction is asserted in
+    // DiskDrive.MultiActuatorReducesRotLatency.)
+    // Single motion + single channel keep power comparable: within a
+    // couple of watts.
+    EXPECT_LT(r4.power.totalAvgW(), r1.power.totalAvgW() + 3.0);
+}
+
+TEST(Runner, DeterministicResults)
+{
+    workload::SyntheticParams wp;
+    wp.requests = 1500;
+    wp.addressSpaceSectors = 1000000;
+    const auto trace = workload::generateSynthetic(wp);
+    const SystemConfig sys = makeRaid0System(
+        "det", disk::makeIntraDiskParallel(
+                   disk::enterpriseDrive(2.0, 10000, 2), 2), 1);
+    const RunResult a = runTrace(trace, sys);
+    const RunResult b = runTrace(trace, sys);
+    EXPECT_DOUBLE_EQ(a.meanResponseMs, b.meanResponseMs);
+    EXPECT_DOUBLE_EQ(a.power.totalEnergyJ, b.power.totalEnergyJ);
+}
+
+TEST(Runner, SeekRotScalingKnobs)
+{
+    workload::SyntheticParams wp;
+    wp.requests = 2000;
+    wp.meanInterArrivalMs = 6.0;
+    wp.addressSpaceSectors = 2000000;
+    const auto trace = workload::generateSynthetic(wp);
+
+    SystemConfig base = makeRaid0System(
+        "base", disk::enterpriseDrive(2.0, 10000, 2), 1);
+    const RunResult rb = runTrace(trace, base);
+
+    SystemConfig nosk = base;
+    nosk.array.drive.seekScale = 0.0;
+    const RunResult rs = runTrace(trace, nosk);
+
+    SystemConfig norot = base;
+    norot.array.drive.rotScale = 0.0;
+    const RunResult rr = runTrace(trace, norot);
+
+    EXPECT_LT(rs.meanResponseMs, rb.meanResponseMs);
+    EXPECT_LT(rr.meanResponseMs, rb.meanResponseMs);
+    EXPECT_DOUBLE_EQ(rr.meanRotMs, 0.0);
+}
+
+TEST(BenchScale, EnvOverrides)
+{
+    unsetenv("IDP_REQUESTS");
+    unsetenv("IDP_SCALE");
+    EXPECT_EQ(benchRequestCount(100000), 100000u);
+    setenv("IDP_SCALE", "0.5", 1);
+    EXPECT_EQ(benchRequestCount(100000), 50000u);
+    setenv("IDP_REQUESTS", "1234", 1);
+    EXPECT_EQ(benchRequestCount(100000), 1234u);
+    unsetenv("IDP_REQUESTS");
+    unsetenv("IDP_SCALE");
+}
+
+TEST(BenchScale, FloorsAtMinimum)
+{
+    setenv("IDP_SCALE", "0.000001", 1);
+    EXPECT_GE(benchRequestCount(100000), 1000u);
+    unsetenv("IDP_SCALE");
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Cost model tests: exact reproduction of Table 9(a)'s per-column
+ * totals and the Figure 9(b) iso-performance savings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hh"
+
+namespace {
+
+using namespace idp::cost;
+
+TEST(Table9, ConventionalTotalExact)
+{
+    const PriceRange c = driveCost(1);
+    EXPECT_NEAR(c.lo, 67.7, 1e-9);
+    EXPECT_NEAR(c.hi, 80.8, 1e-9);
+}
+
+TEST(Table9, TwoActuatorTotalExact)
+{
+    const PriceRange c = driveCost(2);
+    EXPECT_NEAR(c.lo, 100.4, 1e-9);
+    EXPECT_NEAR(c.hi, 116.6, 1e-9);
+}
+
+TEST(Table9, FourActuatorTotalExact)
+{
+    const PriceRange c = driveCost(4);
+    EXPECT_NEAR(c.lo, 165.8, 1e-9);
+    EXPECT_NEAR(c.hi, 188.2, 1e-9);
+}
+
+TEST(Table9, ComponentRowsMatchPaper)
+{
+    // Spot-check rows against Table 9(a)'s columns.
+    for (const auto &comp : table9Components()) {
+        if (comp.name == "Head") {
+            EXPECT_NEAR(comp.costFor(1).lo, 24.0, 1e-9);
+            EXPECT_NEAR(comp.costFor(2).lo, 48.0, 1e-9);
+            EXPECT_NEAR(comp.costFor(4).lo, 96.0, 1e-9);
+        } else if (comp.name == "Voice-Coil Motor") {
+            EXPECT_NEAR(comp.costFor(1).hi, 2.0, 1e-9);
+            EXPECT_NEAR(comp.costFor(4).hi, 8.0, 1e-9);
+        } else if (comp.name == "Head Suspension") {
+            EXPECT_NEAR(comp.costFor(2).lo, 4.0, 1e-9);
+            EXPECT_NEAR(comp.costFor(2).hi, 7.2, 1e-9);
+        } else if (comp.name == "Media") {
+            // Actuator-independent.
+            EXPECT_NEAR(comp.costFor(4).lo, 24.0, 1e-9);
+            EXPECT_NEAR(comp.costFor(4).hi, 28.0, 1e-9);
+        }
+    }
+}
+
+TEST(Table9, MotorDriverScalesWithExtraChannels)
+{
+    // 3.5-4 base plus 1.5-2 per extra actuator: 5-6 at n=2, 8-10 at 4.
+    double lo1 = 0, hi1 = 0, lo2 = 0, hi2 = 0, lo4 = 0, hi4 = 0;
+    for (const auto &comp : table9Components()) {
+        if (comp.name.rfind("Motor Driver", 0) == 0) {
+            lo1 += comp.costFor(1).lo;
+            hi1 += comp.costFor(1).hi;
+            lo2 += comp.costFor(2).lo;
+            hi2 += comp.costFor(2).hi;
+            lo4 += comp.costFor(4).lo;
+            hi4 += comp.costFor(4).hi;
+        }
+    }
+    EXPECT_NEAR(lo1, 3.5, 1e-9);
+    EXPECT_NEAR(hi1, 4.0, 1e-9);
+    EXPECT_NEAR(lo2, 5.0, 1e-9);
+    EXPECT_NEAR(hi2, 6.0, 1e-9);
+    EXPECT_NEAR(lo4, 8.0, 1e-9);
+    EXPECT_NEAR(hi4, 10.0, 1e-9);
+}
+
+TEST(Table9, HeadsDominateParallelCostIncrease)
+{
+    // The paper: "the bulk of the cost increase ... is expected to be
+    // in the heads."
+    double head_delta = 0.0;
+    for (const auto &comp : table9Components())
+        if (comp.name == "Head")
+            head_delta = comp.costFor(4).mid() - comp.costFor(1).mid();
+    const double total_delta = driveCost(4).mid() - driveCost(1).mid();
+    EXPECT_GT(head_delta / total_delta, 0.5);
+}
+
+TEST(Figure9, ThreeConfigs)
+{
+    const auto &configs = figure9Configs();
+    ASSERT_EQ(configs.size(), 3u);
+    EXPECT_EQ(configs[0].drives, 4u);
+    EXPECT_EQ(configs[0].actuatorsPerDrive, 1u);
+    EXPECT_EQ(configs[1].drives, 2u);
+    EXPECT_EQ(configs[1].actuatorsPerDrive, 2u);
+    EXPECT_EQ(configs[2].drives, 1u);
+    EXPECT_EQ(configs[2].actuatorsPerDrive, 4u);
+}
+
+TEST(Figure9, TwoActuatorPairSaves27Percent)
+{
+    const auto &configs = figure9Configs();
+    const double conv = configs[0].totalCost().mid();
+    const double dual = configs[1].totalCost().mid();
+    const double saving = 1.0 - dual / conv;
+    EXPECT_NEAR(saving, 0.27, 0.02);
+}
+
+TEST(Figure9, QuadActuatorSaves40Percent)
+{
+    const auto &configs = figure9Configs();
+    const double conv = configs[0].totalCost().mid();
+    const double quad = configs[2].totalCost().mid();
+    const double saving = 1.0 - quad / conv;
+    EXPECT_NEAR(saving, 0.40, 0.02);
+}
+
+TEST(PriceRange, Arithmetic)
+{
+    const PriceRange a{1.0, 2.0};
+    const PriceRange b = a.scaled(3.0);
+    EXPECT_DOUBLE_EQ(b.lo, 3.0);
+    EXPECT_DOUBLE_EQ(b.hi, 6.0);
+    const PriceRange c = a.plus(b);
+    EXPECT_DOUBLE_EQ(c.lo, 4.0);
+    EXPECT_DOUBLE_EQ(c.hi, 8.0);
+    EXPECT_DOUBLE_EQ(c.mid(), 6.0);
+}
+
+TEST(ComponentCost, UnitCounts)
+{
+    ComponentCost heads{"Head", {3.0, 3.0}, 0, 8, 0};
+    EXPECT_EQ(heads.units(1), 8u);
+    EXPECT_EQ(heads.units(4), 32u);
+    ComponentCost driver_extra{"x", {1.5, 2.0}, 0, 0, 1};
+    EXPECT_EQ(driver_extra.units(1), 0u);
+    EXPECT_EQ(driver_extra.units(3), 2u);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Randomized configuration fuzzing: build many random-but-valid
+ * DriveSpecs (RPM, platters, capacity, DASH dimensions, policies,
+ * feature flags) and random request mixes, and assert the universal
+ * invariants on every one — all requests complete, the drive drains,
+ * mode times partition wall time, responses are causal. A seeded
+ * xoshiro stream keeps every "random" case reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "disk/disk_drive.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace idp;
+using disk::DiskDrive;
+using disk::DriveSpec;
+using workload::IoRequest;
+
+DriveSpec
+randomSpec(sim::Rng &rng)
+{
+    DriveSpec spec;
+    spec.rpm = static_cast<std::uint32_t>(
+        rng.uniformInt(static_cast<std::int64_t>(3600),
+                       static_cast<std::int64_t>(15000)));
+    spec.geometry.capacityBytes = static_cast<std::uint64_t>(
+        rng.uniform(0.5, 8.0) * 1e9);
+    spec.geometry.platters = static_cast<std::uint32_t>(
+        rng.uniformInt(static_cast<std::int64_t>(1),
+                       static_cast<std::int64_t>(6)));
+    spec.geometry.zones = static_cast<std::uint32_t>(
+        rng.uniformInt(static_cast<std::int64_t>(1),
+                       static_cast<std::int64_t>(24)));
+    spec.geometry.innerSpt = static_cast<std::uint32_t>(
+        rng.uniformInt(static_cast<std::int64_t>(200),
+                       static_cast<std::int64_t>(700)));
+    spec.geometry.outerSpt = spec.geometry.innerSpt +
+        static_cast<std::uint32_t>(rng.uniformInt(
+            static_cast<std::int64_t>(0),
+            static_cast<std::int64_t>(800)));
+
+    spec.seek.singleCylinderMs = rng.uniform(0.2, 1.5);
+    spec.seek.averageMs =
+        spec.seek.singleCylinderMs + rng.uniform(1.0, 10.0);
+    spec.seek.fullStrokeMs = spec.seek.averageMs + rng.uniform(1.0, 12.0);
+
+    spec.dash.armAssemblies = static_cast<std::uint32_t>(
+        rng.uniformInt(static_cast<std::int64_t>(1),
+                       static_cast<std::int64_t>(4)));
+    spec.dash.headsPerArm = static_cast<std::uint32_t>(
+        rng.uniformInt(static_cast<std::int64_t>(1),
+                       static_cast<std::int64_t>(2)));
+    spec.dash.surfaces = 1 + static_cast<std::uint32_t>(rng.uniformInt(
+        static_cast<std::uint64_t>(spec.geometry.platters * 2)));
+
+    spec.maxConcurrentSeeks = 1 + static_cast<std::uint32_t>(
+        rng.uniformInt(static_cast<std::uint64_t>(
+            spec.dash.armAssemblies)));
+    spec.maxConcurrentTransfers = 1 + static_cast<std::uint32_t>(
+        rng.uniformInt(static_cast<std::uint64_t>(
+            spec.dash.armAssemblies)));
+
+    const sched::Policy policies[] = {
+        sched::Policy::Fcfs, sched::Policy::Sstf, sched::Policy::Clook,
+        sched::Policy::Sptf, sched::Policy::SptfAged};
+    spec.sched.policy = policies[rng.uniformInt(
+        static_cast<std::uint64_t>(5))];
+    spec.schedWindow = static_cast<std::uint32_t>(
+        rng.uniformInt(static_cast<std::int64_t>(1),
+                       static_cast<std::int64_t>(64)));
+
+    spec.cache.cacheBytes =
+        (1u + static_cast<std::uint32_t>(rng.uniformInt(
+             static_cast<std::uint64_t>(16)))) *
+        1024 * 1024;
+    spec.cache.segments = 1 + static_cast<std::uint32_t>(
+        rng.uniformInt(static_cast<std::uint64_t>(31)));
+    spec.cache.writeBack = rng.chance(0.3);
+
+    spec.zeroLatencyAccess = rng.chance(0.3);
+    spec.coalesce = rng.chance(0.3);
+    spec.mediaRetryRate = rng.chance(0.3) ? rng.uniform(0.0, 0.3) : 0.0;
+    if (rng.chance(0.2)) {
+        spec.spinDownAfterMs = rng.uniform(10.0, 200.0);
+        spec.spinUpMs = rng.uniform(100.0, 2000.0);
+    }
+    spec.seekScale = rng.chance(0.2) ? rng.uniform(0.0, 1.0) : 1.0;
+    spec.rotScale = rng.chance(0.2) ? rng.uniform(0.0, 1.0) : 1.0;
+    spec.normalize();
+    return spec;
+}
+
+class FuzzConfigs : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzConfigs, InvariantsHoldOnRandomSpec)
+{
+    sim::Rng rng(0xF022 + static_cast<std::uint64_t>(GetParam()));
+    const DriveSpec spec = randomSpec(rng);
+
+    sim::Simulator simul;
+    std::uint64_t completions = 0;
+    sim::Tick last_arrival = 0;
+    bool causal = true;
+    DiskDrive drive(
+        simul, spec,
+        [&](const IoRequest &req, sim::Tick done,
+            const disk::ServiceInfo &) {
+            ++completions;
+            if (done < req.arrival)
+                causal = false;
+        });
+
+    const std::uint64_t space = drive.geometry().totalSectors();
+    const int n = 300;
+    for (int i = 0; i < n; ++i) {
+        IoRequest req;
+        req.id = static_cast<std::uint64_t>(i);
+        req.arrival = rng.uniformInt(1500ULL * sim::kTicksPerMs);
+        last_arrival = std::max(last_arrival, req.arrival);
+        req.sectors = 1 + static_cast<std::uint32_t>(rng.uniformInt(
+            static_cast<std::uint64_t>(255)));
+        req.lba = rng.uniformInt(space - req.sectors);
+        req.isRead = rng.chance(0.6);
+        req.background = rng.chance(0.1);
+        simul.schedule(req.arrival, [&drive, req] {
+            drive.submit(req);
+        });
+    }
+    const sim::Tick end = simul.run();
+
+    EXPECT_EQ(completions, static_cast<std::uint64_t>(n))
+        << spec.dash.str() << " rpm=" << spec.rpm
+        << " policy=" << sched::policyToString(spec.sched.policy);
+    EXPECT_TRUE(drive.idle());
+    EXPECT_TRUE(causal);
+    EXPECT_GE(end, last_arrival);
+
+    const stats::ModeTimes times = drive.finishModeTimes();
+    sim::Tick wall = 0;
+    for (auto w : times.wall)
+        wall += w;
+    EXPECT_EQ(wall, times.total);
+    EXPECT_LE(times.standbyTicks,
+              times.wall[static_cast<std::size_t>(
+                  stats::DiskMode::Idle)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConfigs, ::testing::Range(0, 24));
+
+} // namespace

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Geometry tests: zone construction, LBA<->CHS bijection, angular
+ * layout, and capacity accounting. Includes a parameterized sweep
+ * over drive shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "geom/geometry.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace idp;
+using geom::Chs;
+using geom::DiskGeometry;
+using geom::GeometryParams;
+
+GeometryParams
+smallParams()
+{
+    GeometryParams p;
+    p.capacityBytes = 1ULL * 1000 * 1000 * 1000; // 1 GB
+    p.platters = 2;
+    p.zones = 4;
+    p.outerSpt = 500;
+    p.innerSpt = 300;
+    return p;
+}
+
+TEST(Geometry, MeetsCapacityTarget)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    EXPECT_GE(g.capacityBytes(), smallParams().capacityBytes);
+    // ... but not grossly above (one cylinder of slack per zone).
+    EXPECT_LT(g.capacityBytes(),
+              smallParams().capacityBytes + 16ULL * 1024 * 1024);
+}
+
+TEST(Geometry, SurfacesFromPlatters)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    EXPECT_EQ(g.surfaces(), 4u);
+    EXPECT_EQ(g.platters(), 2u);
+}
+
+TEST(Geometry, ZonesCoverAllCylinders)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    std::uint32_t covered = 0;
+    for (const auto &zone : g.zones()) {
+        EXPECT_EQ(zone.firstCylinder, covered);
+        covered += zone.cylinders;
+    }
+    EXPECT_EQ(covered, g.cylinders());
+}
+
+TEST(Geometry, SptTapersOutwardToInward)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    EXPECT_EQ(g.zones().front().sectorsPerTrack, 500u);
+    EXPECT_EQ(g.zones().back().sectorsPerTrack, 300u);
+    for (std::size_t i = 1; i < g.zones().size(); ++i)
+        EXPECT_LE(g.zones()[i].sectorsPerTrack,
+                  g.zones()[i - 1].sectorsPerTrack);
+}
+
+TEST(Geometry, LbaZeroIsOrigin)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    const Chs chs = g.lbaToChs(0);
+    EXPECT_EQ(chs.cylinder, 0u);
+    EXPECT_EQ(chs.head, 0u);
+    EXPECT_EQ(chs.sector, 0u);
+}
+
+TEST(Geometry, SequentialLbasAdvanceSectorFirst)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    const Chs a = g.lbaToChs(0);
+    const Chs b = g.lbaToChs(1);
+    EXPECT_EQ(b.cylinder, a.cylinder);
+    EXPECT_EQ(b.head, a.head);
+    EXPECT_EQ(b.sector, a.sector + 1);
+}
+
+TEST(Geometry, TrackBoundaryAdvancesHead)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    const std::uint32_t spt = g.sectorsPerTrack(0);
+    const Chs chs = g.lbaToChs(spt);
+    EXPECT_EQ(chs.cylinder, 0u);
+    EXPECT_EQ(chs.head, 1u);
+    EXPECT_EQ(chs.sector, 0u);
+}
+
+TEST(Geometry, CylinderBoundaryAdvancesCylinder)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    const std::uint64_t per_cyl = g.sectorsPerCylinder(0);
+    const Chs chs = g.lbaToChs(per_cyl);
+    EXPECT_EQ(chs.cylinder, 1u);
+    EXPECT_EQ(chs.head, 0u);
+    EXPECT_EQ(chs.sector, 0u);
+}
+
+TEST(Geometry, RoundTripRandomLbas)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    sim::Rng rng(123);
+    for (int i = 0; i < 20000; ++i) {
+        const geom::Lba lba = rng.uniformInt(g.totalSectors());
+        const Chs chs = g.lbaToChs(lba);
+        EXPECT_EQ(g.chsToLba(chs), lba);
+    }
+}
+
+TEST(Geometry, RoundTripZoneBoundaries)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    for (const auto &zone : g.zones()) {
+        EXPECT_EQ(g.chsToLba(g.lbaToChs(zone.firstLba)), zone.firstLba);
+        if (zone.firstLba > 0) {
+            const geom::Lba last = zone.firstLba - 1;
+            EXPECT_EQ(g.chsToLba(g.lbaToChs(last)), last);
+        }
+    }
+    const geom::Lba last = g.totalSectors() - 1;
+    EXPECT_EQ(g.chsToLba(g.lbaToChs(last)), last);
+}
+
+TEST(Geometry, SectorAngleInUnitRange)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    sim::Rng rng(77);
+    for (int i = 0; i < 5000; ++i) {
+        const geom::Lba lba = rng.uniformInt(g.totalSectors());
+        const double angle = g.sectorAngle(g.lbaToChs(lba));
+        EXPECT_GE(angle, 0.0);
+        EXPECT_LT(angle, 1.0);
+    }
+}
+
+TEST(Geometry, AdjacentSectorsAdjacentAngles)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    const std::uint32_t spt = g.sectorsPerTrack(0);
+    const double extent = g.sectorExtent(0);
+    EXPECT_DOUBLE_EQ(extent, 1.0 / spt);
+    const Chs a{0, 0, 10};
+    const Chs b{0, 0, 11};
+    double diff = g.sectorAngle(b) - g.sectorAngle(a);
+    if (diff < 0)
+        diff += 1.0;
+    EXPECT_NEAR(diff, extent, 1e-12);
+}
+
+TEST(Geometry, TrackSkewShiftsNextTrack)
+{
+    GeometryParams p = smallParams();
+    p.trackSkewSectors = 25;
+    const DiskGeometry g = DiskGeometry::build(p);
+    const Chs t0{0, 0, 0};
+    const Chs t1{0, 1, 0};
+    const double a0 = g.sectorAngle(t0);
+    const double a1 = g.sectorAngle(t1);
+    double diff = a1 - a0;
+    if (diff < 0)
+        diff += 1.0;
+    EXPECT_NEAR(diff, 25.0 / g.sectorsPerTrack(0), 1e-12);
+}
+
+TEST(Geometry, DescribeMentionsShape)
+{
+    const DiskGeometry g = DiskGeometry::build(smallParams());
+    const std::string d = g.describe();
+    EXPECT_NE(d.find("2 platters"), std::string::npos);
+    EXPECT_NE(d.find("zones"), std::string::npos);
+}
+
+/** Parameterized sweep across drive shapes. */
+struct ShapeCase
+{
+    std::uint64_t capacityGB;
+    std::uint32_t platters;
+    std::uint32_t zones;
+    std::uint32_t outerSpt;
+    std::uint32_t innerSpt;
+};
+
+class GeometryShape : public ::testing::TestWithParam<ShapeCase>
+{
+};
+
+TEST_P(GeometryShape, InvariantsHold)
+{
+    const ShapeCase c = GetParam();
+    GeometryParams p;
+    p.capacityBytes = c.capacityGB * 1000ULL * 1000 * 1000;
+    p.platters = c.platters;
+    p.zones = c.zones;
+    p.outerSpt = c.outerSpt;
+    p.innerSpt = c.innerSpt;
+    const DiskGeometry g = DiskGeometry::build(p);
+
+    EXPECT_GE(g.capacityBytes(), p.capacityBytes);
+    EXPECT_EQ(g.surfaces(), 2 * c.platters);
+
+    // Total sectors equal the sum over zones.
+    std::uint64_t sum = 0;
+    for (const auto &zone : g.zones())
+        sum += static_cast<std::uint64_t>(zone.cylinders) *
+            g.surfaces() * zone.sectorsPerTrack;
+    EXPECT_EQ(sum, g.totalSectors());
+
+    // Random round trips.
+    sim::Rng rng(c.capacityGB * 31 + c.platters);
+    for (int i = 0; i < 2000; ++i) {
+        const geom::Lba lba = rng.uniformInt(g.totalSectors());
+        EXPECT_EQ(g.chsToLba(g.lbaToChs(lba)), lba);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometryShape,
+    ::testing::Values(ShapeCase{1, 1, 1, 400, 400},
+                      ShapeCase{19, 4, 16, 900, 500},
+                      ShapeCase{37, 4, 16, 900, 500},
+                      ShapeCase{36, 6, 16, 800, 450},
+                      ShapeCase{750, 4, 30, 1270, 650},
+                      ShapeCase{2, 8, 3, 333, 111}));
+
+} // namespace

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Cross-module integration tests: end-to-end paper behaviours at
+ * reduced scale, energy-conservation properties across full runs, and
+ * parameterized sweeps over (workload x system) and (policy x arms).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "workload/commercial.hh"
+#include "workload/synthetic.hh"
+
+namespace {
+
+using namespace idp;
+using workload::Commercial;
+
+workload::Trace
+smallCommercial(Commercial kind, std::uint64_t n = 6000)
+{
+    workload::CommercialParams wp;
+    wp.kind = kind;
+    wp.requests = n;
+    return workload::generateCommercial(wp);
+}
+
+TEST(PaperShape, HcsdCollapsesOnOltp)
+{
+    const auto trace = smallCommercial(Commercial::TpcC, 10000);
+    const auto md =
+        core::runTrace(trace, core::makeMdSystem(Commercial::TpcC));
+    const auto hcsd =
+        core::runTrace(trace, core::makeHcsdSystem(Commercial::TpcC));
+    // Severe collapse: at least 10x worse mean response.
+    EXPECT_GT(hcsd.meanResponseMs, md.meanResponseMs * 10.0);
+    // ... at roughly an order of magnitude less power.
+    EXPECT_GT(md.power.totalAvgW(), hcsd.power.totalAvgW() * 4.0);
+}
+
+TEST(PaperShape, TpchToleratesConsolidation)
+{
+    const auto trace = smallCommercial(Commercial::TpcH, 10000);
+    const auto md =
+        core::runTrace(trace, core::makeMdSystem(Commercial::TpcH));
+    const auto hcsd =
+        core::runTrace(trace, core::makeHcsdSystem(Commercial::TpcH));
+    // TPC-H's offered load stays under one drive's capacity: the mean
+    // degrades by a small factor, not by orders of magnitude.
+    EXPECT_LT(hcsd.meanResponseMs, md.meanResponseMs * 20.0);
+    EXPECT_LT(hcsd.meanResponseMs, 100.0);
+}
+
+TEST(PaperShape, ArmsMonotonicallyImproveSaturatedDrive)
+{
+    const auto trace = smallCommercial(Commercial::Websearch, 10000);
+    double prev = 1e18;
+    for (std::uint32_t arms = 1; arms <= 4; ++arms) {
+        const auto r = core::runTrace(
+            trace, core::makeSaSystem(Commercial::Websearch, arms));
+        EXPECT_LT(r.meanResponseMs, prev)
+            << "arms=" << arms << " should improve on " << arms - 1;
+        prev = r.meanResponseMs;
+    }
+}
+
+TEST(PaperShape, RotScalingBeatsSeekScaling)
+{
+    // The Figure 4 signature at test scale.
+    const auto trace = smallCommercial(Commercial::Websearch, 10000);
+    core::SystemConfig s0 =
+        core::makeHcsdSystem(Commercial::Websearch);
+    s0.array.drive.seekScale = 0.0;
+    core::SystemConfig r0 =
+        core::makeHcsdSystem(Commercial::Websearch);
+    r0.array.drive.rotScale = 0.0;
+    const auto seek_free = core::runTrace(trace, s0);
+    const auto rot_free = core::runTrace(trace, r0);
+    EXPECT_LT(rot_free.meanResponseMs,
+              seek_free.meanResponseMs * 0.5);
+}
+
+TEST(PaperShape, SaPowerStaysNearConventional)
+{
+    const auto trace = smallCommercial(Commercial::TpcC, 8000);
+    const auto hcsd =
+        core::runTrace(trace, core::makeHcsdSystem(Commercial::TpcC));
+    const auto sa4 =
+        core::runTrace(trace, core::makeSaSystem(Commercial::TpcC, 4));
+    EXPECT_LT(sa4.power.totalAvgW(),
+              hcsd.power.totalAvgW() + 3.0);
+}
+
+TEST(PaperShape, LowRpmCutsPower)
+{
+    const auto trace = smallCommercial(Commercial::TpcC, 8000);
+    const auto sa7200 =
+        core::runTrace(trace, core::makeSaSystem(Commercial::TpcC, 4));
+    const auto sa4200 = core::runTrace(
+        trace, core::makeSaSystem(Commercial::TpcC, 4, 4200));
+    EXPECT_LT(sa4200.power.totalAvgW(),
+              sa7200.power.totalAvgW() * 0.75);
+}
+
+TEST(EnergyConservation, FullRunModesSumToWallClock)
+{
+    workload::SyntheticParams wp;
+    wp.requests = 3000;
+    wp.meanInterArrivalMs = 3.0;
+    wp.addressSpaceSectors = 10000000;
+
+    sim::Simulator simul;
+    array::ArrayParams params;
+    params.layout = array::Layout::Raid0;
+    params.disks = 4;
+    params.drive = disk::makeIntraDiskParallel(
+        disk::enterpriseDrive(2.0, 10000, 2), 2);
+    array::StorageArray arr(simul, params);
+    const auto trace = workload::generateSynthetic(wp);
+    for (const auto &req : trace)
+        simul.schedule(req.arrival,
+                       [&arr, req] { arr.submit(req); });
+    const sim::Tick end = simul.run();
+
+    const stats::ModeTimes times = arr.modeTimesSnapshot();
+    // Four disks, each tracked for the full wall clock.
+    EXPECT_EQ(times.total, 4 * end);
+    sim::Tick sum = 0;
+    for (auto w : times.wall)
+        sum += w;
+    EXPECT_EQ(sum, times.total);
+}
+
+/** Sweep: every (workload, system-kind) pair drains and reports. */
+class WorkloadSystemSweep
+    : public ::testing::TestWithParam<
+          std::tuple<Commercial, std::uint32_t>>
+{
+};
+
+TEST_P(WorkloadSystemSweep, DrainsAndAccounts)
+{
+    const auto [kind, arms] = GetParam();
+    const auto trace = smallCommercial(kind, 4000);
+    const core::SystemConfig config = arms == 0
+        ? core::makeMdSystem(kind)
+        : core::makeSaSystem(kind, arms);
+    const core::RunResult r = core::runTrace(trace, config);
+    EXPECT_EQ(r.completions, trace.size());
+    EXPECT_GT(r.power.totalAvgW(), 0.0);
+    EXPECT_GT(r.wallSeconds, 0.0);
+    EXPECT_EQ(r.responseHist.total(), trace.size());
+    EXPECT_GE(r.p99ResponseMs, r.p90ResponseMs);
+    EXPECT_GE(r.p90ResponseMs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, WorkloadSystemSweep,
+    ::testing::Combine(::testing::Values(Commercial::Financial,
+                                         Commercial::Websearch,
+                                         Commercial::TpcC,
+                                         Commercial::TpcH),
+                       ::testing::Values(0u, 1u, 2u, 4u)));
+
+/** Sweep: every scheduling policy drains on a multi-arm drive. */
+class PolicyArmSweep
+    : public ::testing::TestWithParam<
+          std::tuple<sched::Policy, std::uint32_t>>
+{
+};
+
+TEST_P(PolicyArmSweep, DrainsUnderLoad)
+{
+    const auto [policy, arms] = GetParam();
+    workload::SyntheticParams wp;
+    wp.requests = 2500;
+    wp.meanInterArrivalMs = 5.0;
+    wp.addressSpaceSectors = 10000000;
+    const auto trace = workload::generateSynthetic(wp);
+    core::SystemConfig config = core::makeRaid0System(
+        "sweep",
+        disk::makeIntraDiskParallel(
+            disk::enterpriseDrive(2.0, 10000, 2), arms),
+        1);
+    config.array.drive.sched.policy = policy;
+    const core::RunResult r = core::runTrace(trace, config);
+    EXPECT_EQ(r.completions, trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyArmSweep,
+    ::testing::Combine(::testing::Values(sched::Policy::Fcfs,
+                                         sched::Policy::Sstf,
+                                         sched::Policy::Clook,
+                                         sched::Policy::Sptf,
+                                         sched::Policy::SptfAged),
+                       ::testing::Values(1u, 2u, 4u)));
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Locality-analysis tests: hand-built traces with known structure,
+ * and the calibrated commercial models' signatures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/commercial.hh"
+#include "workload/locality.hh"
+#include "workload/synthetic.hh"
+
+namespace {
+
+using namespace idp;
+using namespace idp::workload;
+
+IoRequest
+at(double ms, std::uint32_t device, geom::Lba lba,
+   std::uint32_t sectors = 8)
+{
+    IoRequest r;
+    r.arrival = sim::msToTicks(ms);
+    r.device = device;
+    r.lba = lba;
+    r.sectors = sectors;
+    return r;
+}
+
+TEST(Locality, EmptyTraceSafe)
+{
+    const LocalityReport rep = analyzeLocality(Trace{});
+    EXPECT_DOUBLE_EQ(rep.sequentialFraction, 0.0);
+    EXPECT_DOUBLE_EQ(rep.interArrivalCv2, 0.0);
+}
+
+TEST(Locality, PureSequentialStream)
+{
+    Trace t;
+    for (int i = 0; i < 100; ++i)
+        t.push_back(at(i * 1.0, 0, 1000 + 8 * i));
+    const LocalityReport rep = analyzeLocality(t);
+    // 99 of 100 requests continue the previous one.
+    EXPECT_NEAR(rep.sequentialFraction, 0.99, 1e-9);
+    EXPECT_GT(rep.meanRunLength, 50.0);
+    EXPECT_DOUBLE_EQ(rep.meanJumpSectors, 0.0);
+    // Deterministic arrivals: CV^2 ~ 0.
+    EXPECT_LT(rep.interArrivalCv2, 0.01);
+}
+
+TEST(Locality, AlternatingRunsCounted)
+{
+    // Pattern: two sequential, one jump, repeated.
+    Trace t;
+    geom::Lba lba = 0;
+    double ms = 0;
+    for (int i = 0; i < 30; ++i) {
+        t.push_back(at(ms += 1, 0, lba));
+        t.push_back(at(ms += 1, 0, lba + 8)); // sequential follow
+        lba += 100000;                        // jump
+    }
+    const LocalityReport rep = analyzeLocality(t);
+    EXPECT_NEAR(rep.sequentialFraction, 30.0 / 60.0, 0.02);
+    EXPECT_NEAR(rep.meanRunLength, 2.0, 0.1);
+    EXPECT_GT(rep.meanJumpSectors, 90000.0);
+}
+
+TEST(Locality, DeviceImbalanceDetected)
+{
+    Trace t;
+    for (int i = 0; i < 90; ++i)
+        t.push_back(at(i, 0, 64 * i));
+    for (int i = 0; i < 10; ++i)
+        t.push_back(at(90 + i, 1, 64 * i));
+    std::sort(t.begin(), t.end(),
+              [](const IoRequest &a, const IoRequest &b) {
+                  return a.arrival < b.arrival;
+              });
+    const LocalityReport rep = analyzeLocality(t);
+    EXPECT_NEAR(rep.hottestDeviceShare, 0.9, 1e-9);
+}
+
+TEST(Locality, PoissonCv2NearOne)
+{
+    SyntheticParams p;
+    p.requests = 40000;
+    p.sequentialFraction = 0.0;
+    const LocalityReport rep = analyzeLocality(generateSynthetic(p));
+    EXPECT_NEAR(rep.interArrivalCv2, 1.0, 0.1);
+}
+
+TEST(Locality, FinancialSignature)
+{
+    CommercialParams p;
+    p.kind = Commercial::Financial;
+    p.requests = 30000;
+    const LocalityReport rep =
+        analyzeLocality(generateCommercial(p));
+    // Bursty arrivals and hot devices.
+    EXPECT_GT(rep.interArrivalCv2, 1.5);
+    EXPECT_GT(rep.hottestDeviceShare, 0.12); // >> 1/24 uniform share
+    // Hot extents shrink the footprint relative to uniform.
+    EXPECT_LT(rep.footprintRatio, 0.9);
+}
+
+TEST(Locality, TpchSignature)
+{
+    CommercialParams p;
+    p.kind = Commercial::TpcH;
+    p.requests = 30000;
+    const LocalityReport rep =
+        analyzeLocality(generateCommercial(p));
+    EXPECT_GT(rep.sequentialFraction, 0.5);
+    EXPECT_GT(rep.meanRunLength, 2.0);
+}
+
+TEST(Locality, WebsearchSignature)
+{
+    CommercialParams p;
+    p.kind = Commercial::Websearch;
+    p.requests = 30000;
+    const LocalityReport rep =
+        analyzeLocality(generateCommercial(p));
+    EXPECT_LT(rep.sequentialFraction, 0.1);
+    // Near-uniform device spread over 6 disks.
+    EXPECT_LT(rep.hottestDeviceShare, 0.4);
+    EXPECT_GT(rep.meanJumpSectors, 100000.0); // random over 19 GB
+}
+
+} // namespace

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Mechanical model tests: seek curve anchors and monotonicity,
+ * spindle phase arithmetic, rotational wait bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mech/seek_model.hh"
+#include "mech/spindle.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace idp;
+using mech::SeekModel;
+using mech::SeekParams;
+using mech::Spindle;
+
+SeekParams
+barracudaSeek()
+{
+    SeekParams p;
+    p.singleCylinderMs = 0.8;
+    p.averageMs = 8.5;
+    p.fullStrokeMs = 17.0;
+    p.cylinders = 120000;
+    return p;
+}
+
+TEST(SeekModel, ZeroDistanceIsFree)
+{
+    const SeekModel m(barracudaSeek());
+    EXPECT_DOUBLE_EQ(m.seekTimeMs(0), 0.0);
+    EXPECT_EQ(m.seekTicks(0, false), 0u);
+    EXPECT_EQ(m.seekTicks(0, true), 0u);
+}
+
+TEST(SeekModel, AnchorsReproduced)
+{
+    const SeekParams p = barracudaSeek();
+    const SeekModel m(p);
+    EXPECT_NEAR(m.seekTimeMs(1), p.singleCylinderMs, 1e-9);
+    EXPECT_NEAR(m.seekTimeMs(p.cylinders / 3), p.averageMs, 0.05);
+    EXPECT_NEAR(m.seekTimeMs(p.cylinders - 1), p.fullStrokeMs, 1e-6);
+}
+
+TEST(SeekModel, MonotoneNonDecreasing)
+{
+    const SeekModel m(barracudaSeek());
+    double prev = 0.0;
+    for (std::uint32_t d = 0; d < 120000; d += 37) {
+        const double t = m.seekTimeMs(d);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(SeekModel, SqrtRegimeShape)
+{
+    // Quadrupling a short distance should roughly double the
+    // distance-dependent part of the seek time (sqrt law).
+    const SeekModel m(barracudaSeek());
+    const double base = barracudaSeek().singleCylinderMs;
+    const double t1 = m.seekTimeMs(1000) - base;
+    const double t4 = m.seekTimeMs(4000) - base;
+    EXPECT_NEAR(t4 / t1, 2.0, 0.1);
+}
+
+TEST(SeekModel, WriteSettleAdds)
+{
+    const SeekModel m(barracudaSeek());
+    const auto r = m.seekTicks(100, false);
+    const auto w = m.seekTicks(100, true);
+    EXPECT_EQ(w - r, sim::msToTicks(barracudaSeek().writeSettleMs));
+}
+
+TEST(SeekModel, DistanceBeyondStrokeClamped)
+{
+    const SeekModel m(barracudaSeek());
+    EXPECT_DOUBLE_EQ(m.seekTimeMs(500000),
+                     m.seekTimeMs(barracudaSeek().cylinders - 1));
+}
+
+TEST(SeekModel, UniformAverageBetweenAnchors)
+{
+    const SeekModel m(barracudaSeek());
+    const double avg = m.uniformAverageMs();
+    EXPECT_GT(avg, barracudaSeek().singleCylinderMs);
+    EXPECT_LT(avg, barracudaSeek().fullStrokeMs);
+}
+
+TEST(Spindle, PeriodFromRpm)
+{
+    const Spindle s7200(7200);
+    EXPECT_NEAR(s7200.periodMs(), 8.3333, 0.001);
+    const Spindle s10k(10000);
+    EXPECT_NEAR(s10k.periodMs(), 6.0, 0.001);
+    const Spindle s4200(4200);
+    EXPECT_NEAR(s4200.periodMs(), 14.2857, 0.001);
+}
+
+TEST(Spindle, RotationWrapsEachPeriod)
+{
+    const Spindle s(7200);
+    const sim::Tick period = s.periodTicks();
+    EXPECT_DOUBLE_EQ(s.rotationAt(0), 0.0);
+    EXPECT_NEAR(s.rotationAt(period / 2), 0.5, 1e-6);
+    EXPECT_NEAR(s.rotationAt(period), 0.0, 1e-6);
+    EXPECT_NEAR(s.rotationAt(3 * period + period / 4), 0.25, 1e-6);
+}
+
+TEST(Spindle, WaitAlwaysWithinOnePeriod)
+{
+    const Spindle s(7200);
+    sim::Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+        const sim::Tick now = rng.uniformInt(
+            static_cast<std::uint64_t>(1) << 40);
+        const double angle = rng.uniform();
+        const double azimuth = rng.uniform();
+        const sim::Tick wait = s.waitFor(now, angle, azimuth);
+        EXPECT_LT(wait, s.periodTicks());
+    }
+}
+
+TEST(Spindle, WaitLandsOnTarget)
+{
+    const Spindle s(7200);
+    sim::Rng rng(4);
+    for (int i = 0; i < 2000; ++i) {
+        const sim::Tick now = rng.uniformInt(
+            static_cast<std::uint64_t>(1) << 40);
+        const double angle = rng.uniform();
+        const double azimuth = rng.uniform();
+        const sim::Tick wait = s.waitFor(now, angle, azimuth);
+        // After waiting, the platter point `angle` sits under the
+        // head: rotation + angle == azimuth (mod 1).
+        double pos = s.rotationAt(now + wait) + angle - azimuth;
+        pos -= std::floor(pos);
+        const double err = std::min(pos, 1.0 - pos);
+        EXPECT_LT(err, 1e-5);
+    }
+}
+
+TEST(Spindle, ZeroWaitWhenAlreadyUnderHead)
+{
+    const Spindle s(7200);
+    // At t=0 rotation is 0, so platter angle == azimuth needs no wait.
+    EXPECT_EQ(s.waitFor(0, 0.25, 0.25), 0u);
+}
+
+TEST(Spindle, HalfTurnWait)
+{
+    const Spindle s(7200);
+    const sim::Tick wait = s.waitFor(0, 0.5, 0.0);
+    EXPECT_NEAR(static_cast<double>(wait),
+                static_cast<double>(s.periodTicks()) * 0.5, 2.0);
+}
+
+TEST(Spindle, TwoHeadsHalveWorstCaseWait)
+{
+    const Spindle s(7200);
+    sim::Rng rng(5);
+    sim::Tick worst = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const sim::Tick now = rng.uniformInt(
+            static_cast<std::uint64_t>(1) << 40);
+        const double angle = rng.uniform();
+        const sim::Tick w0 = s.waitFor(now, angle, 0.0);
+        const sim::Tick w1 = s.waitFor(now, angle, 0.5);
+        worst = std::max(worst, std::min(w0, w1));
+    }
+    // min over two opposite heads is bounded by half a revolution.
+    EXPECT_LE(worst, s.periodTicks() / 2 + 2);
+}
+
+TEST(Spindle, SweepProportionalToRevolutions)
+{
+    const Spindle s(10000);
+    EXPECT_EQ(s.sweepTicks(1.0), s.periodTicks());
+    EXPECT_NEAR(static_cast<double>(s.sweepTicks(0.25)),
+                static_cast<double>(s.periodTicks()) * 0.25, 2.0);
+    EXPECT_EQ(s.sweepTicks(0.0), 0u);
+}
+
+/** Parameterized: anchors reproduced for many drive classes. */
+class SeekAnchors
+    : public ::testing::TestWithParam<std::tuple<double, double, double,
+                                                 std::uint32_t>>
+{
+};
+
+TEST_P(SeekAnchors, Reproduced)
+{
+    const auto [single, avg, full, cyls] = GetParam();
+    SeekParams p;
+    p.singleCylinderMs = single;
+    p.averageMs = avg;
+    p.fullStrokeMs = full;
+    p.cylinders = cyls;
+    const SeekModel m(p);
+    EXPECT_NEAR(m.seekTimeMs(1), single, 1e-9);
+    EXPECT_NEAR(m.seekTimeMs(cyls / 3), avg, avg * 0.02);
+    EXPECT_NEAR(m.seekTimeMs(cyls - 1), full, 1e-6);
+    // Monotone over a coarse sweep.
+    double prev = 0.0;
+    for (std::uint32_t d = 0; d < cyls; d += cyls / 100 + 1) {
+        const double t = m.seekTimeMs(d);
+        EXPECT_GE(t, prev - 1e-12);
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Drives, SeekAnchors,
+    ::testing::Values(std::make_tuple(0.8, 8.5, 17.0, 120000u),
+                      std::make_tuple(0.6, 4.7, 10.0, 30000u),
+                      std::make_tuple(0.5, 3.5, 8.0, 8000u),
+                      std::make_tuple(2.0, 16.0, 30.0, 2000u)));
+
+} // namespace

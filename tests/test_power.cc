@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Power model tests: calibration anchors (Table 1), scaling laws,
+ * energy integration and conservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/drive_database.hh"
+#include "power/power_model.hh"
+
+namespace {
+
+using namespace idp;
+using power::PowerModel;
+using power::PowerParams;
+using stats::DiskMode;
+using stats::ModeTimes;
+
+PowerParams
+barracuda()
+{
+    return PowerParams{}; // defaults are the Barracuda ES calibration
+}
+
+TEST(PowerModel, BarracudaIdleAnchor)
+{
+    const PowerModel m(barracuda());
+    // ~9.3 W idle (6.8 W spindle + 2.5 W electronics).
+    EXPECT_NEAR(m.idleW(), 9.3, 0.1);
+    EXPECT_NEAR(m.spindleW(), 6.8, 0.1);
+}
+
+TEST(PowerModel, BarracudaSeekAnchor)
+{
+    const PowerModel m(barracuda());
+    // ~13 W with one VCM seeking (the datasheet operating power).
+    EXPECT_NEAR(m.seekW(), 13.0, 0.15);
+}
+
+TEST(PowerModel, FourActuatorPeakAnchor)
+{
+    PowerParams p = barracuda();
+    p.actuators = 4;
+    const PowerModel m(p);
+    // The paper's Table 1 projection: 34 W with all four VCMs active.
+    EXPECT_NEAR(m.peakW(), 34.0, 0.5);
+}
+
+TEST(PowerModel, RotWaitEqualsIdle)
+{
+    const PowerModel m(barracuda());
+    EXPECT_DOUBLE_EQ(m.rotWaitW(), m.idleW());
+}
+
+TEST(PowerModel, TransferAddsChannelPower)
+{
+    const PowerModel m(barracuda());
+    EXPECT_NEAR(m.transferW() - m.idleW(),
+                barracuda().channelActiveW, 1e-9);
+}
+
+TEST(PowerModel, RpmScalingRoughlyCubic)
+{
+    PowerParams hi = barracuda();
+    PowerParams lo = barracuda();
+    lo.rpm = 3600;
+    const PowerModel mh(hi), ml(lo);
+    const double ratio = mh.spindleW() / ml.spindleW();
+    // (7200/3600)^2.8 = 2^2.8 ~ 6.96
+    EXPECT_NEAR(ratio, 6.96, 0.05);
+}
+
+TEST(PowerModel, DiameterScalingStrong)
+{
+    PowerParams small = barracuda();
+    PowerParams large = barracuda();
+    large.platterDiameterIn = 7.4;
+    const PowerModel ms(small), ml(large);
+    // 2^4.6 ~ 24.25
+    EXPECT_NEAR(ml.spindleW() / ms.spindleW(), 24.25, 0.1);
+}
+
+TEST(PowerModel, PlattersLinear)
+{
+    PowerParams a = barracuda();
+    PowerParams b = barracuda();
+    b.platters = 8;
+    const PowerModel ma(a), mb(b);
+    EXPECT_NEAR(mb.spindleW() / ma.spindleW(), 2.0, 1e-9);
+}
+
+TEST(PowerModel, LowRpmParallelBelowConventional)
+{
+    // The paper's Figure 6 argument: a 4200 RPM 4-actuator drive can
+    // idle below a 7200 RPM conventional drive.
+    PowerParams conv = barracuda();
+    PowerParams idp4200 = barracuda();
+    idp4200.actuators = 4;
+    idp4200.rpm = 4200;
+    const PowerModel mc(conv), mi(idp4200);
+    EXPECT_LT(mi.idleW(), mc.idleW());
+}
+
+TEST(PowerModel, IntegrateAttributesModes)
+{
+    const PowerModel m(barracuda());
+    ModeTimes times;
+    times.wall[static_cast<std::size_t>(DiskMode::Idle)] =
+        sim::kTicksPerSec;
+    times.wall[static_cast<std::size_t>(DiskMode::Seek)] =
+        sim::kTicksPerSec;
+    times.vcmSeconds = sim::kTicksPerSec;
+    times.total = 2 * sim::kTicksPerSec;
+    const auto breakdown = m.integrate(times);
+    EXPECT_NEAR(breakdown.energyJ[static_cast<std::size_t>(
+                    DiskMode::Idle)],
+                m.idleW(), 1e-6);
+    EXPECT_NEAR(breakdown.energyJ[static_cast<std::size_t>(
+                    DiskMode::Seek)],
+                m.idleW() + m.vcmSeekW(), 1e-6);
+    EXPECT_NEAR(breakdown.totalAvgW(),
+                (2 * m.idleW() + m.vcmSeekW()) / 2.0, 1e-6);
+}
+
+TEST(PowerModel, EnergyConservedUnderOverlap)
+{
+    // Overlapping seek+transfer: wall time in Transfer, VCM energy in
+    // Seek; total must equal base*total + vcm*vcmSec + chan*chanSec.
+    const PowerModel m(barracuda());
+    ModeTimes times;
+    times.wall[static_cast<std::size_t>(DiskMode::Transfer)] =
+        sim::kTicksPerSec;
+    times.vcmSeconds = sim::kTicksPerSec;
+    times.channelSeconds = sim::kTicksPerSec;
+    times.total = sim::kTicksPerSec;
+    const auto b = m.integrate(times);
+    const double expected = m.idleW() + m.vcmSeekW() +
+        barracuda().channelActiveW;
+    EXPECT_NEAR(b.totalEnergyJ, expected, 1e-6);
+}
+
+TEST(PowerModel, ZeroTimeSafe)
+{
+    const PowerModel m(barracuda());
+    const auto b = m.integrate(ModeTimes{});
+    EXPECT_DOUBLE_EQ(b.totalAvgW(), 0.0);
+    EXPECT_DOUBLE_EQ(b.modeAvgW(DiskMode::Idle), 0.0);
+}
+
+TEST(PowerBreakdown, MergeKeepsWallAndAddsEnergy)
+{
+    power::PowerBreakdown a, b;
+    a.totalEnergyJ = 10.0;
+    a.wallSeconds = 2.0;
+    b.totalEnergyJ = 30.0;
+    b.wallSeconds = 2.0;
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.totalEnergyJ, 40.0);
+    EXPECT_DOUBLE_EQ(a.wallSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(a.totalAvgW(), 20.0);
+}
+
+// --- Table 1 historical database -----------------------------------
+
+TEST(DriveDatabase, HasFiveTable1Rows)
+{
+    const auto &drives = power::table1Drives();
+    ASSERT_EQ(drives.size(), 5u);
+    EXPECT_EQ(drives[0].name, "IBM 3380 AK4");
+    EXPECT_EQ(drives[3].name, "Seagate Barracuda ES");
+    EXPECT_EQ(drives[4].actuators, 4u);
+}
+
+TEST(DriveDatabase, Ibm3380OrderOfMagnitude)
+{
+    const auto &ibm = power::table1Drives()[0];
+    const double modeled = power::modeledPeakPowerW(ibm);
+    // Published 6,600 W; the model should land in the same order.
+    EXPECT_GT(modeled, 2000.0);
+    EXPECT_LT(modeled, 12000.0);
+}
+
+TEST(DriveDatabase, ModernVsMainframeTwoOrders)
+{
+    const auto &drives = power::table1Drives();
+    const double ibm = power::modeledPeakPowerW(drives[0]);
+    const double barracuda = power::modeledPeakPowerW(drives[3]);
+    EXPECT_GT(ibm / barracuda, 100.0); // two orders of magnitude
+}
+
+TEST(DriveDatabase, ProjectionWithin3xOfConventional)
+{
+    // The paper's key Table 1 insight: the 4-actuator projection stays
+    // within ~3x of the conventional Barracuda's power.
+    const auto &drives = power::table1Drives();
+    const double conv = power::modeledPeakPowerW(drives[3]);
+    const double proj = power::modeledPeakPowerW(drives[4]);
+    EXPECT_GT(proj, conv);
+    EXPECT_LT(proj / conv, 3.0);
+}
+
+TEST(DriveDatabase, Cp3100SmallPower)
+{
+    const auto &cp = power::table1Drives()[2];
+    const double modeled = power::modeledPeakPowerW(cp);
+    EXPECT_GT(modeled, 4.0);
+    EXPECT_LT(modeled, 20.0); // published: 10 W
+}
+
+TEST(DriveDatabase, FujitsuHundredsOfWatts)
+{
+    const auto &fj = power::table1Drives()[1];
+    const double modeled = power::modeledPeakPowerW(fj);
+    EXPECT_GT(modeled, 300.0);
+    EXPECT_LT(modeled, 1200.0); // published: 640 W
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Edge-case tests for the simulation kernel: cancellation from
+ * handlers, run-until interactions, distribution corner parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace idp::sim;
+
+TEST(EventQueueEdge, CancelFromHandler)
+{
+    Simulator simul;
+    int fired = 0;
+    EventId victim = kInvalidEventId;
+    victim = simul.schedule(20, [&] { ++fired; });
+    simul.schedule(10, [&] { simul.cancel(victim); });
+    simul.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(simul.now(), 10u);
+}
+
+TEST(EventQueueEdge, CancelSelfCurrentlyFiringIsNoop)
+{
+    Simulator simul;
+    int fired = 0;
+    EventId self = kInvalidEventId;
+    self = simul.schedule(5, [&] {
+        ++fired;
+        simul.cancel(self); // already fired; must be harmless
+    });
+    simul.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueEdge, RunUntilThenContinue)
+{
+    Simulator simul;
+    std::vector<int> order;
+    for (int i = 1; i <= 5; ++i)
+        simul.schedule(static_cast<Tick>(i * 10),
+                       [&order, i] { order.push_back(i); });
+    simul.run(25);
+    EXPECT_EQ(order.size(), 2u);
+    EXPECT_EQ(simul.now(), 25u);
+    simul.run(45);
+    EXPECT_EQ(order.size(), 4u);
+    simul.run();
+    EXPECT_EQ(order.size(), 5u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueueEdge, ScheduleAtCurrentTickFiresThisRun)
+{
+    Simulator simul;
+    int fired = 0;
+    simul.schedule(10, [&] {
+        simul.schedule(simul.now(), [&] { ++fired; });
+    });
+    simul.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(simul.now(), 10u);
+}
+
+TEST(EventQueueEdge, HeavyCancellationChurn)
+{
+    Simulator simul;
+    Rng rng(101);
+    std::vector<EventId> ids;
+    int fired = 0;
+    for (int i = 0; i < 5000; ++i)
+        ids.push_back(simul.schedule(
+            rng.uniformInt(static_cast<std::uint64_t>(100000)),
+            [&] { ++fired; }));
+    int cancelled = 0;
+    for (std::size_t i = 0; i < ids.size(); i += 2) {
+        simul.cancel(ids[i]);
+        ++cancelled;
+    }
+    simul.run();
+    EXPECT_EQ(fired, 5000 - cancelled);
+    EXPECT_EQ(simul.pendingEvents(), 0u);
+}
+
+TEST(EventQueueEdge, PastSchedulingPanics)
+{
+    Simulator simul;
+    simul.schedule(100, [] {});
+    simul.run();
+    EXPECT_DEATH(simul.schedule(50, [] {}), "scheduled in past");
+}
+
+TEST(RngEdge, ZipfPopulationOfOne)
+{
+    Rng rng(3);
+    idp::sim::ZipfSampler z(1, 1.2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(RngEdge, UniformIntSingleton)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(rng.uniformInt(static_cast<std::uint64_t>(1)), 0u);
+        EXPECT_EQ(rng.uniformInt(static_cast<std::int64_t>(7),
+                                 static_cast<std::int64_t>(7)),
+                  7);
+    }
+}
+
+TEST(RngEdge, BoundedParetoSkewsLow)
+{
+    Rng rng(7);
+    int low_half = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.boundedPareto(1.0, 1000.0, 1.2) < 10.0)
+            ++low_half;
+    // A heavy-tailed sampler still concentrates near the floor.
+    EXPECT_GT(low_half, n * 8 / 10);
+}
+
+TEST(RngEdge, ForkChainsStayDecorrelated)
+{
+    Rng a(11);
+    Rng b = a.fork();
+    Rng c = b.fork();
+    // Pairwise low collision counts over short windows.
+    int ab = 0, bc = 0;
+    for (int i = 0; i < 128; ++i) {
+        const auto va = a.next(), vb = b.next(), vc = c.next();
+        ab += va == vb;
+        bc += vb == vc;
+    }
+    EXPECT_LT(ab, 2);
+    EXPECT_LT(bc, 2);
+}
+
+TEST(RngEdge, InvalidParamsPanic)
+{
+    Rng rng(13);
+    EXPECT_DEATH(rng.exponential(0.0), "mean");
+    EXPECT_DEATH(rng.uniformInt(static_cast<std::uint64_t>(0)),
+                 "empty range");
+    EXPECT_DEATH(rng.boundedPareto(0.0, 1.0, 1.0), "invalid");
+}
+
+} // namespace

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: time conversion, RNG,
+ * distributions, event queue ordering and cancellation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace {
+
+using namespace idp::sim;
+
+TEST(Types, ConversionRoundTrip)
+{
+    EXPECT_EQ(secondsToTicks(1.0), kTicksPerSec);
+    EXPECT_EQ(msToTicks(1.0), kTicksPerMs);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kTicksPerSec), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(kTicksPerMs), 1.0);
+    EXPECT_EQ(msToTicks(8.333), 8333000ULL);
+}
+
+TEST(Types, RoundingIsNearest)
+{
+    EXPECT_EQ(secondsToTicks(1.2345678901), 1234567890ULL);
+    EXPECT_EQ(msToTicks(0.0000006), 1ULL);
+    EXPECT_EQ(msToTicks(0.0000004), 0ULL);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(static_cast<std::uint64_t>(17));
+        ASSERT_LT(v, 17u);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(static_cast<std::int64_t>(-5),
+                                      static_cast<std::int64_t>(5));
+        ASSERT_GE(v, -5);
+        ASSERT_LE(v, 5);
+    }
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(3.5);
+    EXPECT_NEAR(sum / n, 3.5, 0.05);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(2.0, 0.5);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.01);
+    EXPECT_NEAR(std::sqrt(var), 0.5, 0.01);
+}
+
+TEST(Rng, BoundedParetoRange)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.boundedPareto(1.0, 100.0, 1.3);
+        ASSERT_GE(v, 1.0);
+        ASSERT_LE(v, 100.0);
+    }
+}
+
+TEST(Rng, ChanceEdges)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(23);
+    Rng child = parent.fork();
+    // Child stream should not replicate the parent stream.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (parent.next() == child.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, UniformWhenThetaZero)
+{
+    Rng rng(29);
+    ZipfSampler zipf(10, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Zipf, SkewPrefersLowRanks)
+{
+    Rng rng(31);
+    ZipfSampler zipf(1000, 0.99);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[0], 5000); // rank 0 dominates
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    Rng rng(37);
+    ZipfSampler zipf(7, 1.2);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(zipf.sample(rng), 7u);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    Simulator simul;
+    std::vector<int> order;
+    simul.schedule(30, [&] { order.push_back(3); });
+    simul.schedule(10, [&] { order.push_back(1); });
+    simul.schedule(20, [&] { order.push_back(2); });
+    simul.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(simul.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    Simulator simul;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        simul.schedule(5, [&order, i] { order.push_back(i); });
+    simul.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleFromHandler)
+{
+    Simulator simul;
+    int fired = 0;
+    simul.schedule(1, [&] {
+        ++fired;
+        simul.scheduleAfter(5, [&] { ++fired; });
+    });
+    simul.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(simul.now(), 6u);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    Simulator simul;
+    int fired = 0;
+    const EventId id = simul.schedule(10, [&] { ++fired; });
+    simul.schedule(5, [&] { ++fired; });
+    simul.cancel(id);
+    simul.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(simul.pendingEvents(), 0u);
+}
+
+TEST(EventQueue, CancelTwiceIsHarmless)
+{
+    Simulator simul;
+    const EventId id = simul.schedule(10, [] {});
+    simul.cancel(id);
+    simul.cancel(id);
+    simul.cancel(kInvalidEventId);
+    simul.run();
+    EXPECT_EQ(simul.eventsFired(), 0u);
+}
+
+TEST(EventQueue, RunUntilStopsEarly)
+{
+    Simulator simul;
+    int fired = 0;
+    simul.schedule(10, [&] { ++fired; });
+    simul.schedule(20, [&] { ++fired; });
+    simul.run(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(simul.now(), 15u);
+    simul.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilInclusive)
+{
+    Simulator simul;
+    int fired = 0;
+    simul.schedule(10, [&] { ++fired; });
+    simul.run(10);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, PendingCountTracksCancel)
+{
+    Simulator simul;
+    const EventId a = simul.schedule(1, [] {});
+    simul.schedule(2, [] {});
+    EXPECT_EQ(simul.pendingEvents(), 2u);
+    simul.cancel(a);
+    EXPECT_EQ(simul.pendingEvents(), 1u);
+    simul.run();
+    EXPECT_EQ(simul.pendingEvents(), 0u);
+}
+
+TEST(EventQueue, StepSingleEvent)
+{
+    Simulator simul;
+    int fired = 0;
+    simul.schedule(3, [&] { ++fired; });
+    simul.schedule(4, [&] { ++fired; });
+    EXPECT_TRUE(simul.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(simul.step());
+    EXPECT_FALSE(simul.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    Simulator simul;
+    Rng rng(41);
+    Tick last = 0;
+    bool monotone = true;
+    for (int i = 0; i < 20000; ++i) {
+        const Tick when = rng.uniformInt(static_cast<std::uint64_t>(
+            1000000));
+        simul.schedule(when, [&simul, &last, &monotone] {
+            if (simul.now() < last)
+                monotone = false;
+            last = simul.now();
+        });
+    }
+    simul.run();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(simul.eventsFired(), 20000u);
+}
+
+} // namespace

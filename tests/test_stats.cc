@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Unit tests for histograms, samplers, mode tracking, and tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/rng.hh"
+#include "stats/histogram.hh"
+#include "stats/mode_tracker.hh"
+#include "stats/sampler.hh"
+#include "stats/table.hh"
+#include "stats/time_series.hh"
+
+namespace {
+
+using namespace idp;
+using namespace idp::stats;
+
+TEST(Histogram, BucketAssignment)
+{
+    Histogram h({1.0, 2.0, 5.0});
+    h.add(0.5);  // bucket 0 (<= 1)
+    h.add(1.0);  // bucket 0 (inclusive upper edge)
+    h.add(1.5);  // bucket 1
+    h.add(5.0);  // bucket 2
+    h.add(7.0);  // overflow
+    EXPECT_EQ(h.buckets(), 4u);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, CdfMonotoneAndEndsAtOne)
+{
+    Histogram h = makeResponseHistogram();
+    sim::Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.uniform(0.0, 400.0));
+    double prev = 0.0;
+    for (std::size_t b = 0; b < h.buckets(); ++b) {
+        const double c = h.cdfAt(b);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(h.cdfAt(h.buckets() - 1), 1.0);
+}
+
+TEST(Histogram, PdfSumsToOne)
+{
+    Histogram h = makeRotLatencyHistogram();
+    sim::Rng rng(6);
+    for (int i = 0; i < 5000; ++i)
+        h.add(rng.uniform(0.0, 14.0));
+    double sum = 0.0;
+    for (std::size_t b = 0; b < h.buckets(); ++b)
+        sum += h.pdfAt(b);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, MeanMatchesSamples)
+{
+    Histogram h({10.0, 20.0});
+    h.add(5.0);
+    h.add(15.0);
+    h.add(25.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+    EXPECT_DOUBLE_EQ(h.minSeen(), 5.0);
+    EXPECT_DOUBLE_EQ(h.maxSeen(), 25.0);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a({1.0, 2.0});
+    Histogram b({1.0, 2.0});
+    a.add(0.5);
+    b.add(1.5);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.count(1), 1u);
+    EXPECT_EQ(a.count(2), 1u);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h({1.0});
+    h.add(0.5, 10);
+    h.add(0.5, 0); // no-op
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.5);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h({1.0});
+    h.add(0.5);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, PaperEdges)
+{
+    const auto &edges = paperResponseEdgesMs();
+    ASSERT_EQ(edges.size(), 9u);
+    EXPECT_DOUBLE_EQ(edges.front(), 5.0);
+    EXPECT_DOUBLE_EQ(edges.back(), 200.0);
+}
+
+TEST(Histogram, UniformBuilder)
+{
+    Histogram h = Histogram::uniform(0.0, 10.0, 5);
+    EXPECT_EQ(h.buckets(), 6u); // 5 bins + overflow
+    EXPECT_DOUBLE_EQ(h.upperEdge(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.upperEdge(4), 10.0);
+    EXPECT_TRUE(std::isinf(h.upperEdge(5)));
+}
+
+TEST(Histogram, QuantileApproximation)
+{
+    Histogram h = Histogram::uniform(0.0, 100.0, 100);
+    for (int i = 0; i < 1000; ++i)
+        h.add(static_cast<double>(i % 100) + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(SampleSet, ExactPercentilesBelowCapacity)
+{
+    SampleSet s(1024);
+    for (int i = 100; i >= 1; --i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+    EXPECT_NEAR(s.p90(), 90.0, 1.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, ReservoirKeepsDistribution)
+{
+    SampleSet s(1000);
+    sim::Rng rng(99);
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.uniform(0.0, 1.0));
+    EXPECT_EQ(s.count(), 100000u);
+    EXPECT_NEAR(s.quantile(0.5), 0.5, 0.06);
+    EXPECT_NEAR(s.mean(), 0.5, 0.01); // mean is exact (running sum)
+}
+
+TEST(SampleSet, StdDev)
+{
+    SampleSet s;
+    s.add(2.0);
+    s.add(4.0);
+    s.add(4.0);
+    s.add(4.0);
+    s.add(5.0);
+    s.add(5.0);
+    s.add(7.0);
+    s.add(9.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+}
+
+TEST(SampleSet, EmptyIsSafe)
+{
+    SampleSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.p90(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleSet, ClearResets)
+{
+    SampleSet s;
+    s.add(1.0);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(ModeTracker, PureIdle)
+{
+    ModeTracker t;
+    const ModeTimes times = t.finish(1000);
+    EXPECT_EQ(times.wall[static_cast<std::size_t>(DiskMode::Idle)],
+              1000u);
+    EXPECT_EQ(times.total, 1000u);
+}
+
+TEST(ModeTracker, SequentialPhases)
+{
+    ModeTracker t;
+    t.requestStart(100);
+    t.seekStart(100);
+    t.seekEnd(300);
+    // 300..500: rotational wait (in flight, no seek/transfer)
+    t.transferStart(500);
+    t.transferEnd(550);
+    t.requestEnd(550);
+    const ModeTimes times = t.finish(600);
+    EXPECT_EQ(times.wall[static_cast<std::size_t>(DiskMode::Idle)],
+              150u); // 0..100 and 550..600
+    EXPECT_EQ(times.wall[static_cast<std::size_t>(DiskMode::Seek)],
+              200u);
+    EXPECT_EQ(times.wall[static_cast<std::size_t>(DiskMode::RotWait)],
+              200u);
+    EXPECT_EQ(times.wall[static_cast<std::size_t>(DiskMode::Transfer)],
+              50u);
+    EXPECT_EQ(times.vcmSeconds, 200u);
+    EXPECT_EQ(times.channelSeconds, 50u);
+    EXPECT_EQ(times.total, 600u);
+}
+
+TEST(ModeTracker, TransferOutranksSeek)
+{
+    ModeTracker t;
+    t.requestStart(0);
+    t.seekStart(0);
+    t.requestStart(0);
+    t.transferStart(0);
+    t.transferEnd(100);
+    t.seekEnd(100);
+    t.requestEnd(100);
+    t.requestEnd(100);
+    const ModeTimes times = t.finish(100);
+    EXPECT_EQ(times.wall[static_cast<std::size_t>(DiskMode::Transfer)],
+              100u);
+    EXPECT_EQ(times.wall[static_cast<std::size_t>(DiskMode::Seek)], 0u);
+    // Both component integrals still accumulate.
+    EXPECT_EQ(times.vcmSeconds, 100u);
+    EXPECT_EQ(times.channelSeconds, 100u);
+}
+
+TEST(ModeTracker, ConcurrentSeeksIntegrate)
+{
+    ModeTracker t;
+    t.requestStart(0);
+    t.seekStart(0);
+    t.requestStart(0);
+    t.seekStart(0);
+    t.seekEnd(50);
+    t.seekEnd(100);
+    t.requestEnd(100);
+    t.requestEnd(100);
+    const ModeTimes times = t.finish(100);
+    // 2 VCMs for 50 ticks, then 1 VCM for 50 ticks.
+    EXPECT_EQ(times.vcmSeconds, 150u);
+    EXPECT_EQ(times.wall[static_cast<std::size_t>(DiskMode::Seek)],
+              100u);
+}
+
+TEST(ModeTracker, WallTimesSumToTotal)
+{
+    ModeTracker t;
+    t.requestStart(10);
+    t.seekStart(10);
+    t.seekEnd(20);
+    t.transferStart(30);
+    t.transferEnd(40);
+    t.requestEnd(40);
+    const ModeTimes times = t.finish(55);
+    sim::Tick sum = 0;
+    for (auto w : times.wall)
+        sum += w;
+    EXPECT_EQ(sum, times.total);
+    EXPECT_EQ(times.total, 55u);
+}
+
+TEST(ModeTracker, SnapshotDoesNotMutate)
+{
+    ModeTracker t;
+    t.requestStart(0);
+    const ModeTimes snap = t.snapshot(100);
+    EXPECT_EQ(snap.wall[static_cast<std::size_t>(DiskMode::RotWait)],
+              100u);
+    // Original continues from its last change point.
+    t.requestEnd(200);
+    const ModeTimes fin = t.finish(200);
+    EXPECT_EQ(fin.wall[static_cast<std::size_t>(DiskMode::RotWait)],
+              200u);
+}
+
+TEST(ModeTimes, MergeAccumulates)
+{
+    ModeTimes a, b;
+    a.wall[0] = 10;
+    a.vcmSeconds = 5;
+    a.total = 10;
+    b.wall[0] = 20;
+    b.channelSeconds = 7;
+    b.total = 20;
+    a.merge(b);
+    EXPECT_EQ(a.wall[0], 30u);
+    EXPECT_EQ(a.vcmSeconds, 5u);
+    EXPECT_EQ(a.channelSeconds, 7u);
+    EXPECT_EQ(a.total, 30u);
+}
+
+TEST(TextTable, AlignsAndRenders)
+{
+    TextTable t("Title");
+    t.setHeader({"a", "long-header"});
+    t.addRow({"xx", "1"});
+    t.addRow({"y", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("xx"), std::string::npos);
+}
+
+TEST(TextTable, Csv)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Format, Helpers)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmtPct(0.413, 1), "41.3%");
+}
+
+// --- TimeSeries (windowed trajectories) ----------------------------
+
+TEST(TimeSeries, BucketsByWindow)
+{
+    idp::stats::TimeSeries ts(idp::sim::kTicksPerSec);
+    ts.add(0, 1.0);
+    ts.add(idp::sim::kTicksPerSec - 1, 3.0);
+    ts.add(idp::sim::kTicksPerSec, 10.0);
+    ts.add(5 * idp::sim::kTicksPerSec, 7.0);
+    ASSERT_EQ(ts.windows(), 6u);
+    EXPECT_DOUBLE_EQ(ts.window(0).mean(), 2.0);
+    EXPECT_DOUBLE_EQ(ts.window(1).mean(), 10.0);
+    EXPECT_TRUE(ts.window(2).empty());
+    EXPECT_DOUBLE_EQ(ts.window(5).mean(), 7.0);
+    EXPECT_EQ(ts.windowStart(5), 5 * idp::sim::kTicksPerSec);
+}
+
+TEST(TimeSeries, SeriesExtraction)
+{
+    idp::stats::TimeSeries ts(100);
+    for (int w = 0; w < 3; ++w)
+        for (int i = 0; i < 10; ++i)
+            ts.add(static_cast<idp::sim::Tick>(w) * 100 + i,
+                   static_cast<double>(w * 10 + i));
+    const auto means = ts.meanSeries();
+    ASSERT_EQ(means.size(), 3u);
+    EXPECT_DOUBLE_EQ(means[0], 4.5);
+    EXPECT_DOUBLE_EQ(means[1], 14.5);
+    const auto p90 = ts.quantileSeries(0.9);
+    EXPECT_NEAR(p90[2], 28.1, 0.2);
+}
+
+TEST(TimeSeries, OutOfRangeWindowIsEmpty)
+{
+    idp::stats::TimeSeries ts(100);
+    EXPECT_TRUE(ts.window(42).empty());
+    EXPECT_EQ(ts.windows(), 0u);
+}
+
+TEST(TimeSeries, RejectsZeroWindow)
+{
+    EXPECT_DEATH(idp::stats::TimeSeries(0), "zero window");
+}
+
+} // namespace

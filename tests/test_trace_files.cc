@@ -1,0 +1,99 @@
+/**
+ * @file
+ * File-level trace IO tests (the stream-level round trip is in
+ * test_workload.cc): real files, large traces, error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "workload/commercial.hh"
+#include "workload/trace_io.hh"
+
+namespace {
+
+using namespace idp;
+using namespace idp::workload;
+
+std::string
+tmpPath(const std::string &name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceFiles, WriteReadRoundTrip)
+{
+    CommercialParams p;
+    p.kind = Commercial::TpcC;
+    p.requests = 3000;
+    const Trace original = generateCommercial(p);
+    const std::string path = tmpPath("roundtrip.trace");
+    writeTraceFile(path, original);
+    const Trace loaded = readTraceFile(path);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); i += 97) {
+        EXPECT_EQ(loaded[i].device, original[i].device);
+        EXPECT_EQ(loaded[i].lba, original[i].lba);
+        EXPECT_EQ(loaded[i].sectors, original[i].sectors);
+        EXPECT_EQ(loaded[i].isRead, original[i].isRead);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFiles, HeaderPresent)
+{
+    const std::string path = tmpPath("header.trace");
+    writeTraceFile(path, Trace{});
+    std::ifstream is(path);
+    std::string first;
+    std::getline(is, first);
+    EXPECT_EQ(first, "# idp-trace v1");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFiles, MissingFileIsFatal)
+{
+    EXPECT_DEATH(readTraceFile("/nonexistent/path/x.trace"),
+                 "cannot open");
+}
+
+TEST(TraceFiles, UnwritablePathIsFatal)
+{
+    EXPECT_DEATH(writeTraceFile("/nonexistent/dir/x.trace", Trace{}),
+                 "cannot open");
+}
+
+TEST(TraceFiles, IdsReassignedOnLoad)
+{
+    Trace t;
+    IoRequest a;
+    a.id = 999;
+    a.arrival = 0;
+    a.lba = 5;
+    a.sectors = 1;
+    t.push_back(a);
+    const std::string path = tmpPath("ids.trace");
+    writeTraceFile(path, t);
+    const Trace loaded = readTraceFile(path);
+    EXPECT_EQ(loaded[0].id, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFiles, LargeTraceSurvives)
+{
+    CommercialParams p;
+    p.kind = Commercial::Websearch;
+    p.requests = 50000;
+    const Trace original = generateCommercial(p);
+    const std::string path = tmpPath("large.trace");
+    writeTraceFile(path, original);
+    const Trace loaded = readTraceFile(path);
+    EXPECT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.back().lba, original.back().lba);
+    std::remove(path.c_str());
+}
+
+} // namespace

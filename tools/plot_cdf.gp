@@ -1,0 +1,17 @@
+# Render a response-time CDF exported with IDP_CSV_DIR (see
+# docs/idpsim.md). Usage:
+#   gnuplot -e "infile='fig5_Websearch_cdf.csv'; outfile='f5.png'" \
+#       tools/plot_cdf.gp
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output outfile
+set key bottom right
+set xlabel 'Response time (ms)'
+set ylabel 'Cumulative fraction of requests'
+set yrange [0:1]
+set logscale x
+set grid
+stats infile skip 1 nooutput
+N = STATS_columns
+plot for [i=2:N] infile using 1:i skip 1 with linespoints \
+    title columnheader(i)

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Build, test, and regenerate every table/figure into results/.
+# Usage: tools/run_all.sh [IDP_REQUESTS]
+set -e
+cd "$(dirname "$0")/.."
+[ -n "$1" ] && export IDP_REQUESTS="$1"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+    name=$(basename "$b")
+    echo "== $name =="
+    "$b" | tee "results/$name.txt"
+done
+echo "All outputs written to results/."
