@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dash"
+  "../bench/ablation_dash.pdb"
+  "CMakeFiles/ablation_dash.dir/ablation_dash.cc.o"
+  "CMakeFiles/ablation_dash.dir/ablation_dash.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

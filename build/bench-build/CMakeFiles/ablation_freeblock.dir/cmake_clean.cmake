@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_freeblock"
+  "../bench/ablation_freeblock.pdb"
+  "CMakeFiles/ablation_freeblock.dir/ablation_freeblock.cc.o"
+  "CMakeFiles/ablation_freeblock.dir/ablation_freeblock.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_freeblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_powermgmt"
+  "../bench/ablation_powermgmt.pdb"
+  "CMakeFiles/ablation_powermgmt.dir/ablation_powermgmt.cc.o"
+  "CMakeFiles/ablation_powermgmt.dir/ablation_powermgmt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_powermgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

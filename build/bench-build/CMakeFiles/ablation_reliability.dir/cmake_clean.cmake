@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_reliability"
+  "../bench/ablation_reliability.pdb"
+  "CMakeFiles/ablation_reliability.dir/ablation_reliability.cc.o"
+  "CMakeFiles/ablation_reliability.dir/ablation_reliability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sched"
+  "../bench/ablation_sched.pdb"
+  "CMakeFiles/ablation_sched.dir/ablation_sched.cc.o"
+  "CMakeFiles/ablation_sched.dir/ablation_sched.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

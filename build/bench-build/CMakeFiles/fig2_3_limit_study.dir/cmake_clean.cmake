@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_3_limit_study"
+  "../bench/fig2_3_limit_study.pdb"
+  "CMakeFiles/fig2_3_limit_study.dir/fig2_3_limit_study.cc.o"
+  "CMakeFiles/fig2_3_limit_study.dir/fig2_3_limit_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_3_limit_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_bottleneck"
+  "../bench/fig4_bottleneck.pdb"
+  "CMakeFiles/fig4_bottleneck.dir/fig4_bottleneck.cc.o"
+  "CMakeFiles/fig4_bottleneck.dir/fig4_bottleneck.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

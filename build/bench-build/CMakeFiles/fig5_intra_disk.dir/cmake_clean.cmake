@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_intra_disk"
+  "../bench/fig5_intra_disk.pdb"
+  "CMakeFiles/fig5_intra_disk.dir/fig5_intra_disk.cc.o"
+  "CMakeFiles/fig5_intra_disk.dir/fig5_intra_disk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_intra_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

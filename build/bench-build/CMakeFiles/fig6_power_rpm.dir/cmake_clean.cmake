@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_power_rpm"
+  "../bench/fig6_power_rpm.pdb"
+  "CMakeFiles/fig6_power_rpm.dir/fig6_power_rpm.cc.o"
+  "CMakeFiles/fig6_power_rpm.dir/fig6_power_rpm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_power_rpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_rpm_cdf"
+  "../bench/fig7_rpm_cdf.pdb"
+  "CMakeFiles/fig7_rpm_cdf.dir/fig7_rpm_cdf.cc.o"
+  "CMakeFiles/fig7_rpm_cdf.dir/fig7_rpm_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rpm_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_raid"
+  "../bench/fig8_raid.pdb"
+  "CMakeFiles/fig8_raid.dir/fig8_raid.cc.o"
+  "CMakeFiles/fig8_raid.dir/fig8_raid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/motivation_rpm_thermal"
+  "../bench/motivation_rpm_thermal.pdb"
+  "CMakeFiles/motivation_rpm_thermal.dir/motivation_rpm_thermal.cc.o"
+  "CMakeFiles/motivation_rpm_thermal.dir/motivation_rpm_thermal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_rpm_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/dependability_demo"
+  "../examples/dependability_demo.pdb"
+  "CMakeFiles/example_dependability_demo.dir/dependability_demo.cc.o"
+  "CMakeFiles/example_dependability_demo.dir/dependability_demo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dependability_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

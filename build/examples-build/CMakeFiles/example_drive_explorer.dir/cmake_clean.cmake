@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/drive_explorer"
+  "../examples/drive_explorer.pdb"
+  "CMakeFiles/example_drive_explorer.dir/drive_explorer.cc.o"
+  "CMakeFiles/example_drive_explorer.dir/drive_explorer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_drive_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

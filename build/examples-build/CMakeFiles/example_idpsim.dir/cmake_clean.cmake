@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/idpsim"
+  "../examples/idpsim.pdb"
+  "CMakeFiles/example_idpsim.dir/idpsim.cc.o"
+  "CMakeFiles/example_idpsim.dir/idpsim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_idpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

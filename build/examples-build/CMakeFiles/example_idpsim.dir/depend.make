@@ -1,0 +1,2 @@
+# Empty dependencies file for example_idpsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/md_consolidation"
+  "../examples/md_consolidation.pdb"
+  "CMakeFiles/example_md_consolidation.dir/md_consolidation.cc.o"
+  "CMakeFiles/example_md_consolidation.dir/md_consolidation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_md_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

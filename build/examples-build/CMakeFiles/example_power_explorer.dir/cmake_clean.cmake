@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/power_explorer"
+  "../examples/power_explorer.pdb"
+  "CMakeFiles/example_power_explorer.dir/power_explorer.cc.o"
+  "CMakeFiles/example_power_explorer.dir/power_explorer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_power_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/raid_designer"
+  "../examples/raid_designer.pdb"
+  "CMakeFiles/example_raid_designer.dir/raid_designer.cc.o"
+  "CMakeFiles/example_raid_designer.dir/raid_designer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_raid_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

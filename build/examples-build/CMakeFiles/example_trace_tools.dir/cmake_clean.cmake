@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/trace_tools"
+  "../examples/trace_tools.pdb"
+  "CMakeFiles/example_trace_tools.dir/trace_tools.cc.o"
+  "CMakeFiles/example_trace_tools.dir/trace_tools.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/queueing.cc" "src/CMakeFiles/idp.dir/analytic/queueing.cc.o" "gcc" "src/CMakeFiles/idp.dir/analytic/queueing.cc.o.d"
+  "/root/repo/src/array/storage_array.cc" "src/CMakeFiles/idp.dir/array/storage_array.cc.o" "gcc" "src/CMakeFiles/idp.dir/array/storage_array.cc.o.d"
+  "/root/repo/src/bus/bus.cc" "src/CMakeFiles/idp.dir/bus/bus.cc.o" "gcc" "src/CMakeFiles/idp.dir/bus/bus.cc.o.d"
+  "/root/repo/src/cache/disk_cache.cc" "src/CMakeFiles/idp.dir/cache/disk_cache.cc.o" "gcc" "src/CMakeFiles/idp.dir/cache/disk_cache.cc.o.d"
+  "/root/repo/src/config/ini.cc" "src/CMakeFiles/idp.dir/config/ini.cc.o" "gcc" "src/CMakeFiles/idp.dir/config/ini.cc.o.d"
+  "/root/repo/src/config/sim_config.cc" "src/CMakeFiles/idp.dir/config/sim_config.cc.o" "gcc" "src/CMakeFiles/idp.dir/config/sim_config.cc.o.d"
+  "/root/repo/src/core/closed_loop.cc" "src/CMakeFiles/idp.dir/core/closed_loop.cc.o" "gcc" "src/CMakeFiles/idp.dir/core/closed_loop.cc.o.d"
+  "/root/repo/src/core/csv_export.cc" "src/CMakeFiles/idp.dir/core/csv_export.cc.o" "gcc" "src/CMakeFiles/idp.dir/core/csv_export.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/idp.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/idp.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/idp.dir/core/report.cc.o" "gcc" "src/CMakeFiles/idp.dir/core/report.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/idp.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/idp.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/disk/disk_drive.cc" "src/CMakeFiles/idp.dir/disk/disk_drive.cc.o" "gcc" "src/CMakeFiles/idp.dir/disk/disk_drive.cc.o.d"
+  "/root/repo/src/disk/drive_config.cc" "src/CMakeFiles/idp.dir/disk/drive_config.cc.o" "gcc" "src/CMakeFiles/idp.dir/disk/drive_config.cc.o.d"
+  "/root/repo/src/geom/geometry.cc" "src/CMakeFiles/idp.dir/geom/geometry.cc.o" "gcc" "src/CMakeFiles/idp.dir/geom/geometry.cc.o.d"
+  "/root/repo/src/mech/seek_model.cc" "src/CMakeFiles/idp.dir/mech/seek_model.cc.o" "gcc" "src/CMakeFiles/idp.dir/mech/seek_model.cc.o.d"
+  "/root/repo/src/mech/spindle.cc" "src/CMakeFiles/idp.dir/mech/spindle.cc.o" "gcc" "src/CMakeFiles/idp.dir/mech/spindle.cc.o.d"
+  "/root/repo/src/power/drive_database.cc" "src/CMakeFiles/idp.dir/power/drive_database.cc.o" "gcc" "src/CMakeFiles/idp.dir/power/drive_database.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/CMakeFiles/idp.dir/power/power_model.cc.o" "gcc" "src/CMakeFiles/idp.dir/power/power_model.cc.o.d"
+  "/root/repo/src/power/thermal.cc" "src/CMakeFiles/idp.dir/power/thermal.cc.o" "gcc" "src/CMakeFiles/idp.dir/power/thermal.cc.o.d"
+  "/root/repo/src/reliability/reliability.cc" "src/CMakeFiles/idp.dir/reliability/reliability.cc.o" "gcc" "src/CMakeFiles/idp.dir/reliability/reliability.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/idp.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/idp.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/idp.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/idp.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/idp.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/idp.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/idp.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/idp.dir/sim/rng.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/idp.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/idp.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/mode_tracker.cc" "src/CMakeFiles/idp.dir/stats/mode_tracker.cc.o" "gcc" "src/CMakeFiles/idp.dir/stats/mode_tracker.cc.o.d"
+  "/root/repo/src/stats/sampler.cc" "src/CMakeFiles/idp.dir/stats/sampler.cc.o" "gcc" "src/CMakeFiles/idp.dir/stats/sampler.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/idp.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/idp.dir/stats/table.cc.o.d"
+  "/root/repo/src/stats/time_series.cc" "src/CMakeFiles/idp.dir/stats/time_series.cc.o" "gcc" "src/CMakeFiles/idp.dir/stats/time_series.cc.o.d"
+  "/root/repo/src/workload/commercial.cc" "src/CMakeFiles/idp.dir/workload/commercial.cc.o" "gcc" "src/CMakeFiles/idp.dir/workload/commercial.cc.o.d"
+  "/root/repo/src/workload/locality.cc" "src/CMakeFiles/idp.dir/workload/locality.cc.o" "gcc" "src/CMakeFiles/idp.dir/workload/locality.cc.o.d"
+  "/root/repo/src/workload/request.cc" "src/CMakeFiles/idp.dir/workload/request.cc.o" "gcc" "src/CMakeFiles/idp.dir/workload/request.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/idp.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/idp.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/idp.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/idp.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for idp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_array.cc" "tests/CMakeFiles/idp_tests.dir/test_array.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_array.cc.o.d"
+  "/root/repo/tests/test_background.cc" "tests/CMakeFiles/idp_tests.dir/test_background.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_background.cc.o.d"
+  "/root/repo/tests/test_bus.cc" "tests/CMakeFiles/idp_tests.dir/test_bus.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_bus.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/idp_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_closed_loop.cc" "tests/CMakeFiles/idp_tests.dir/test_closed_loop.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_closed_loop.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/idp_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/idp_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_cost.cc" "tests/CMakeFiles/idp_tests.dir/test_cost.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_cost.cc.o.d"
+  "/root/repo/tests/test_dash_dimensions.cc" "tests/CMakeFiles/idp_tests.dir/test_dash_dimensions.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_dash_dimensions.cc.o.d"
+  "/root/repo/tests/test_degraded_raid.cc" "tests/CMakeFiles/idp_tests.dir/test_degraded_raid.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_degraded_raid.cc.o.d"
+  "/root/repo/tests/test_disk.cc" "tests/CMakeFiles/idp_tests.dir/test_disk.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_disk.cc.o.d"
+  "/root/repo/tests/test_disk_edge.cc" "tests/CMakeFiles/idp_tests.dir/test_disk_edge.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_disk_edge.cc.o.d"
+  "/root/repo/tests/test_drive_features.cc" "tests/CMakeFiles/idp_tests.dir/test_drive_features.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_drive_features.cc.o.d"
+  "/root/repo/tests/test_faults_and_curves.cc" "tests/CMakeFiles/idp_tests.dir/test_faults_and_curves.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_faults_and_curves.cc.o.d"
+  "/root/repo/tests/test_fuzz_configs.cc" "tests/CMakeFiles/idp_tests.dir/test_fuzz_configs.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_fuzz_configs.cc.o.d"
+  "/root/repo/tests/test_geom.cc" "tests/CMakeFiles/idp_tests.dir/test_geom.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_geom.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/idp_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_locality.cc" "tests/CMakeFiles/idp_tests.dir/test_locality.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_locality.cc.o.d"
+  "/root/repo/tests/test_mech.cc" "tests/CMakeFiles/idp_tests.dir/test_mech.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_mech.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/idp_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_reliability.cc" "tests/CMakeFiles/idp_tests.dir/test_reliability.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_reliability.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/idp_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_sched.cc" "tests/CMakeFiles/idp_tests.dir/test_sched.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_sched.cc.o.d"
+  "/root/repo/tests/test_sim_edge.cc" "tests/CMakeFiles/idp_tests.dir/test_sim_edge.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_sim_edge.cc.o.d"
+  "/root/repo/tests/test_sim_kernel.cc" "tests/CMakeFiles/idp_tests.dir/test_sim_kernel.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_sim_kernel.cc.o.d"
+  "/root/repo/tests/test_spindown.cc" "tests/CMakeFiles/idp_tests.dir/test_spindown.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_spindown.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/idp_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_sweeps.cc" "tests/CMakeFiles/idp_tests.dir/test_sweeps.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_sweeps.cc.o.d"
+  "/root/repo/tests/test_thermal.cc" "tests/CMakeFiles/idp_tests.dir/test_thermal.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_thermal.cc.o.d"
+  "/root/repo/tests/test_trace_files.cc" "tests/CMakeFiles/idp_tests.dir/test_trace_files.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_trace_files.cc.o.d"
+  "/root/repo/tests/test_validation.cc" "tests/CMakeFiles/idp_tests.dir/test_validation.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_validation.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/idp_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/idp_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/idp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
