@@ -16,6 +16,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "exec/sim_sweep.hh"
 
 int
 main()
@@ -27,29 +28,44 @@ main()
     std::cout << "=== Ablation: on-board cache (Section 7.1) ===\n"
               << "requests per workload: " << requests << "\n\n";
 
+    // 4 workloads x 3 cache variants, one flat parallel sweep.
+    std::vector<workload::Trace> traces;
     for (Commercial kind : workload::allCommercial()) {
         workload::CommercialParams wp;
         wp.kind = kind;
         wp.requests = requests;
-        const auto trace = workload::generateCommercial(wp);
+        traces.push_back(workload::generateCommercial(wp));
+    }
+    std::vector<exec::SimPoint> points;
+    {
+        std::size_t t = 0;
+        for (Commercial kind : workload::allCommercial()) {
+            const workload::Trace &trace = traces[t++];
 
-        std::vector<core::RunResult> rows;
+            core::SystemConfig base = core::makeHcsdSystem(kind);
+            base.name = "HC-SD 8MB";
+            points.push_back({&trace, base});
 
-        core::SystemConfig base = core::makeHcsdSystem(kind);
-        base.name = "HC-SD 8MB";
-        rows.push_back(core::runTrace(trace, base));
+            core::SystemConfig big = core::makeHcsdSystem(kind);
+            big.array.drive.cache.cacheBytes = 64ULL * 1024 * 1024;
+            big.array.drive.cache.segments = 64;
+            big.name = "HC-SD 64MB";
+            points.push_back({&trace, big});
 
-        core::SystemConfig big = core::makeHcsdSystem(kind);
-        big.array.drive.cache.cacheBytes = 64ULL * 1024 * 1024;
-        big.array.drive.cache.segments = 64;
-        big.name = "HC-SD 64MB";
-        rows.push_back(core::runTrace(trace, big));
+            core::SystemConfig wb = core::makeHcsdSystem(kind);
+            wb.array.drive.cache.writeBack = true;
+            wb.name = "HC-SD 8MB+WB";
+            points.push_back({&trace, wb});
+        }
+    }
+    const std::vector<core::RunResult> runs =
+        exec::runSimPoints(points);
 
-        core::SystemConfig wb = core::makeHcsdSystem(kind);
-        wb.array.drive.cache.writeBack = true;
-        wb.name = "HC-SD 8MB+WB";
-        rows.push_back(core::runTrace(trace, wb));
-
+    std::size_t next = 0;
+    for (Commercial kind : workload::allCommercial()) {
+        const std::vector<core::RunResult> rows(
+            runs.begin() + next, runs.begin() + next + 3);
+        next += 3;
         core::printSummary(std::cout,
                            "Cache variants (" +
                                workload::commercialName(kind) + ")",

@@ -22,6 +22,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "exec/sim_sweep.hh"
 #include "power/power_model.hh"
 #include "stats/table.hh"
 
@@ -40,9 +41,9 @@ main()
     wp.requests = requests;
     const auto trace = workload::generateCommercial(wp);
 
-    std::vector<core::RunResult> rows;
+    std::vector<core::SystemConfig> configs;
 
-    auto run_variant = [&](const std::string &name, std::uint32_t arms,
+    auto add_variant = [&](const std::string &name, std::uint32_t arms,
                            std::uint32_t heads, std::uint32_t surfaces) {
         core::SystemConfig config =
             core::makeHcsdSystem(Commercial::Websearch);
@@ -51,16 +52,19 @@ main()
         config.array.drive.dash.surfaces = surfaces;
         config.array.drive.normalize();
         config.name = name;
-        rows.push_back(core::runTrace(trace, config));
+        configs.push_back(config);
     };
 
-    run_variant("D1A1S1H1 (conventional)", 1, 1, 1);
-    run_variant("D1A1S1H2", 1, 2, 1);
-    run_variant("D1A1S1H4", 1, 4, 1);
-    run_variant("D1A2S1H1", 2, 1, 1);
-    run_variant("D1A2S1H2 (Fig 1b)", 2, 2, 1);
-    run_variant("D1A4S1H1", 4, 1, 1);
-    run_variant("D1A1S2H1", 1, 1, 2);
+    add_variant("D1A1S1H1 (conventional)", 1, 1, 1);
+    add_variant("D1A1S1H2", 1, 2, 1);
+    add_variant("D1A1S1H4", 1, 4, 1);
+    add_variant("D1A2S1H1", 2, 1, 1);
+    add_variant("D1A2S1H2 (Fig 1b)", 2, 2, 1);
+    add_variant("D1A4S1H1", 4, 1, 1);
+    add_variant("D1A1S2H1", 1, 1, 2);
+
+    const std::vector<core::RunResult> rows =
+        exec::runSystems(trace, configs);
 
     core::printSummary(std::cout, "DASH design points", rows);
     core::printRotPdf(std::cout, "Rotational-latency PDF", rows);

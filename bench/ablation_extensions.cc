@@ -15,6 +15,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "exec/sim_sweep.hh"
 
 int
 main()
@@ -27,34 +28,49 @@ main()
                  "extensions ===\nrequests per workload: "
               << requests << "\n\n";
 
+    // 4 workloads x 4 constraint variants, one flat parallel sweep.
+    std::vector<workload::Trace> traces;
     for (Commercial kind : workload::allCommercial()) {
         workload::CommercialParams wp;
         wp.kind = kind;
         wp.requests = requests;
-        const auto trace = workload::generateCommercial(wp);
+        traces.push_back(workload::generateCommercial(wp));
+    }
+    std::vector<exec::SimPoint> points;
+    {
+        std::size_t t = 0;
+        for (Commercial kind : workload::allCommercial()) {
+            const workload::Trace &trace = traces[t++];
 
-        std::vector<core::RunResult> rows;
+            core::SystemConfig base = core::makeSaSystem(kind, 4);
+            base.name = "SA(4) base";
+            points.push_back({&trace, base});
 
-        core::SystemConfig base = core::makeSaSystem(kind, 4);
-        base.name = "SA(4) base";
-        rows.push_back(core::runTrace(trace, base));
+            core::SystemConfig ma = core::makeSaSystem(kind, 4);
+            ma.array.drive.maxConcurrentSeeks = 4;
+            ma.name = "SA(4)+MA";
+            points.push_back({&trace, ma});
 
-        core::SystemConfig ma = core::makeSaSystem(kind, 4);
-        ma.array.drive.maxConcurrentSeeks = 4;
-        ma.name = "SA(4)+MA";
-        rows.push_back(core::runTrace(trace, ma));
+            core::SystemConfig mc = core::makeSaSystem(kind, 4);
+            mc.array.drive.maxConcurrentTransfers = 4;
+            mc.name = "SA(4)+MC";
+            points.push_back({&trace, mc});
 
-        core::SystemConfig mc = core::makeSaSystem(kind, 4);
-        mc.array.drive.maxConcurrentTransfers = 4;
-        mc.name = "SA(4)+MC";
-        rows.push_back(core::runTrace(trace, mc));
+            core::SystemConfig both = core::makeSaSystem(kind, 4);
+            both.array.drive.maxConcurrentSeeks = 4;
+            both.array.drive.maxConcurrentTransfers = 4;
+            both.name = "SA(4)+MA+MC";
+            points.push_back({&trace, both});
+        }
+    }
+    const std::vector<core::RunResult> runs =
+        exec::runSimPoints(points);
 
-        core::SystemConfig both = core::makeSaSystem(kind, 4);
-        both.array.drive.maxConcurrentSeeks = 4;
-        both.array.drive.maxConcurrentTransfers = 4;
-        both.name = "SA(4)+MA+MC";
-        rows.push_back(core::runTrace(trace, both));
-
+    std::size_t next = 0;
+    for (Commercial kind : workload::allCommercial()) {
+        const std::vector<core::RunResult> rows(
+            runs.begin() + next, runs.begin() + next + 4);
+        next += 4;
         core::printSummary(std::cout,
                            "Extensions (" +
                                workload::commercialName(kind) + ")",

@@ -16,6 +16,8 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "exec/sim_sweep.hh"
+#include "exec/sweep_runner.hh"
 #include "stats/table.hh"
 #include "workload/synthetic.hh"
 
@@ -40,21 +42,28 @@ main()
         "Media retry rate vs response time (single drive)");
     retry_table.setHeader({"Drive", "RetryRate", "Mean(ms)",
                            "P99(ms)", "Retries", "HardErrors"});
+    std::vector<double> retry_rates;
+    std::vector<core::SystemConfig> retry_configs;
     for (std::uint32_t arms : {1u, 4u}) {
         for (double rate : {0.0, 0.02, 0.10}) {
             disk::DriveSpec drive = disk::barracudaEs750();
             if (arms > 1)
                 drive = disk::makeIntraDiskParallel(drive, arms);
             drive.mediaRetryRate = rate;
-            core::SystemConfig config = core::makeRaid0System(
-                arms == 1 ? "conventional" : "SA(4)", drive, 1);
-            const core::RunResult r = core::runTrace(trace, config);
-            retry_table.addRow({config.name, fmt(rate, 2),
-                                fmt(r.meanResponseMs, 2),
-                                fmt(r.p99ResponseMs, 2),
-                                std::to_string(r.mediaRetries),
-                                std::to_string(r.hardErrors)});
+            retry_rates.push_back(rate);
+            retry_configs.push_back(core::makeRaid0System(
+                arms == 1 ? "conventional" : "SA(4)", drive, 1));
         }
+    }
+    const std::vector<core::RunResult> retry_runs =
+        exec::runSystems(trace, retry_configs);
+    for (std::size_t i = 0; i < retry_runs.size(); ++i) {
+        const core::RunResult &r = retry_runs[i];
+        retry_table.addRow({r.system, fmt(retry_rates[i], 2),
+                            fmt(r.meanResponseMs, 2),
+                            fmt(r.p99ResponseMs, 2),
+                            std::to_string(r.mediaRetries),
+                            std::to_string(r.hardErrors)});
     }
     retry_table.print(std::cout);
     std::cout << '\n';
@@ -64,23 +73,39 @@ main()
         "RAID-5 (4 disks): healthy vs degraded mode");
     degraded_table.setHeader({"Members", "Mode", "Mean(ms)", "P90(ms)",
                               "AvgPower(W)"});
-    for (std::uint32_t arms : {1u, 4u}) {
-        for (bool degraded : {false, true}) {
+    // Custom simulation loop (not runTrace), still one independent
+    // point per (members, mode): run it through the generic sweep
+    // engine, each point returning its table row.
+    struct Raid5Point
+    {
+        std::uint32_t arms;
+        bool degraded;
+    };
+    std::vector<Raid5Point> raid5_points;
+    for (std::uint32_t arms : {1u, 4u})
+        for (bool degraded : {false, true})
+            raid5_points.push_back({arms, degraded});
+
+    exec::SweepRunner runner;
+    const auto raid5_rows = runner.map(
+        raid5_points,
+        [&trace](const Raid5Point &pt, const exec::SweepPoint &)
+            -> std::vector<std::string> {
             sim::Simulator simul;
             array::ArrayParams params;
             params.layout = array::Layout::Raid5;
             params.disks = 4;
             params.drive = disk::barracudaEs750();
-            if (arms > 1)
+            if (pt.arms > 1)
                 params.drive = disk::makeIntraDiskParallel(
-                    params.drive, arms);
+                    params.drive, pt.arms);
             stats::SampleSet resp;
             array::StorageArray arr(
                 simul, params,
                 [&resp](const workload::IoRequest &r, sim::Tick t) {
                     resp.add(sim::ticksToMs(t - r.arrival));
                 });
-            if (degraded)
+            if (pt.degraded)
                 arr.failDisk(1);
             for (const auto &r : trace) {
                 workload::IoRequest scaled = r;
@@ -91,15 +116,16 @@ main()
             }
             simul.run();
             const auto power = arr.finishPower();
-            degraded_table.addRow({
-                arms == 1 ? "conventional" : "SA(4)",
-                degraded ? "degraded" : "healthy",
+            return {
+                pt.arms == 1 ? "conventional" : "SA(4)",
+                pt.degraded ? "degraded" : "healthy",
                 fmt(resp.mean(), 2),
                 fmt(resp.p90(), 2),
                 fmt(power.totalAvgW(), 1),
-            });
-        }
-    }
+            };
+        });
+    for (const auto &row : raid5_rows)
+        degraded_table.addRow(row);
     degraded_table.print(std::cout);
 
     std::cout << "\nReading: retry hiccups and reconstruction fan-out "

@@ -15,6 +15,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "exec/sim_sweep.hh"
 
 int
 main()
@@ -32,22 +33,20 @@ main()
     wp.requests = requests;
     const auto trace = workload::generateCommercial(wp);
 
-    std::vector<core::RunResult> rows;
-
     core::SystemConfig even = core::makeSaSystem(Commercial::TpcC, 4);
     even.name = "even (0/90/180/270)";
-    rows.push_back(core::runTrace(trace, even));
 
     core::SystemConfig paired = core::makeSaSystem(Commercial::TpcC, 4);
     paired.array.drive.armAzimuths = {0.0, 0.0, 0.5, 0.5};
     paired.name = "opposed pairs (0/0/180/180)";
-    rows.push_back(core::runTrace(trace, paired));
 
     core::SystemConfig clustered =
         core::makeSaSystem(Commercial::TpcC, 4);
     clustered.array.drive.armAzimuths = {0.0, 0.0, 0.0, 0.0};
     clustered.name = "clustered (all at 0)";
-    rows.push_back(core::runTrace(trace, clustered));
+
+    const std::vector<core::RunResult> rows =
+        exec::runSystems(trace, {even, paired, clustered});
 
     core::printSummary(std::cout, "Placement of 4 arm assemblies",
                        rows);

@@ -25,6 +25,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "exec/sim_sweep.hh"
 
 int
 main()
@@ -42,22 +43,22 @@ main()
     wp.requests = requests;
     const auto trace = workload::generateCommercial(wp);
 
-    std::vector<core::RunResult> rows;
+    std::vector<core::SystemConfig> configs;
 
-    rows.push_back(core::runTrace(
-        trace, core::makeMdSystem(Commercial::Financial)));
+    configs.push_back(core::makeMdSystem(Commercial::Financial));
 
     core::SystemConfig md_spin =
         core::makeMdSystem(Commercial::Financial);
     md_spin.array.drive.spinDownAfterMs = 2000.0;
     md_spin.array.drive.spinUpMs = 6000.0;
     md_spin.name = "MD+spindown";
-    rows.push_back(core::runTrace(trace, md_spin));
+    configs.push_back(md_spin);
 
-    rows.push_back(core::runTrace(
-        trace, core::makeHcsdSystem(Commercial::Financial)));
-    rows.push_back(core::runTrace(
-        trace, core::makeSaSystem(Commercial::Financial, 3)));
+    configs.push_back(core::makeHcsdSystem(Commercial::Financial));
+    configs.push_back(core::makeSaSystem(Commercial::Financial, 3));
+
+    const std::vector<core::RunResult> rows =
+        exec::runSystems(trace, configs);
 
     core::printSummary(std::cout, "Knobs vs parallelism", rows);
     core::printResponseCdf(std::cout, "Response-time CDF", rows);

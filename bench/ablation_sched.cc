@@ -17,6 +17,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "exec/sim_sweep.hh"
 
 int
 main()
@@ -38,7 +39,7 @@ main()
         sched::Policy::Sptf, sched::Policy::SptfAged};
 
     for (std::uint32_t arms : {1u, 4u}) {
-        std::vector<core::RunResult> rows;
+        std::vector<core::SystemConfig> configs;
         for (sched::Policy policy : policies) {
             core::SystemConfig config =
                 core::makeSaSystem(Commercial::Websearch, arms);
@@ -46,8 +47,10 @@ main()
             config.name = (arms == 1 ? std::string("HC-SD/")
                                      : std::string("SA(4)/")) +
                 sched::policyToString(policy);
-            rows.push_back(core::runTrace(trace, config));
+            configs.push_back(config);
         }
+        const std::vector<core::RunResult> rows =
+            exec::runSystems(trace, configs);
         core::printSummary(std::cout,
                            arms == 1
                                ? "Single-actuator drive (HC-SD)"

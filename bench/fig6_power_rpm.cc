@@ -17,6 +17,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "exec/sim_sweep.hh"
 
 int
 main()
@@ -32,25 +33,47 @@ main()
     const std::uint32_t rpms[] = {7200, 6200, 5200, 4200};
     const std::uint32_t arm_counts[] = {2, 4};
 
+    // Flatten all (workload, design point) simulations into one
+    // parallel sweep: 4 workloads x 9 systems.
+    std::vector<workload::Trace> traces;
+    std::vector<exec::SimPoint> points;
+    std::size_t systems_per_workload = 0;
     for (Commercial kind : workload::allCommercial()) {
         workload::CommercialParams wp;
         wp.kind = kind;
         wp.requests = requests;
-        const auto trace = workload::generateCommercial(wp);
-
-        std::vector<core::RunResult> rows;
-        rows.push_back(
-            core::runTrace(trace, core::makeHcsdSystem(kind)));
-        for (std::uint32_t rpm : rpms) {
-            for (std::uint32_t arms : arm_counts) {
-                core::SystemConfig config =
-                    core::makeSaSystem(kind, arms, rpm);
-                // Label as in the paper: SA(n)/RPM.
-                config.name = "SA(" + std::to_string(arms) + ")/" +
-                    std::to_string(rpm);
-                rows.push_back(core::runTrace(trace, config));
+        traces.push_back(workload::generateCommercial(wp));
+    }
+    {
+        std::size_t t = 0;
+        for (Commercial kind : workload::allCommercial()) {
+            const workload::Trace &trace = traces[t++];
+            std::vector<core::SystemConfig> configs;
+            configs.push_back(core::makeHcsdSystem(kind));
+            for (std::uint32_t rpm : rpms) {
+                for (std::uint32_t arms : arm_counts) {
+                    core::SystemConfig config =
+                        core::makeSaSystem(kind, arms, rpm);
+                    // Label as in the paper: SA(n)/RPM.
+                    config.name = "SA(" + std::to_string(arms) +
+                        ")/" + std::to_string(rpm);
+                    configs.push_back(config);
+                }
             }
+            systems_per_workload = configs.size();
+            for (auto &config : configs)
+                points.push_back({&trace, config});
         }
+    }
+    const std::vector<core::RunResult> runs =
+        exec::runSimPoints(points);
+
+    std::size_t next = 0;
+    for (Commercial kind : workload::allCommercial()) {
+        const std::vector<core::RunResult> rows(
+            runs.begin() + next,
+            runs.begin() + next + systems_per_workload);
+        next += systems_per_workload;
         core::printPowerBreakdown(
             std::cout,
             "Figure 6 (" + workload::commercialName(kind) +

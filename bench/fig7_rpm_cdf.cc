@@ -14,6 +14,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "exec/sim_sweep.hh"
 
 int
 main()
@@ -30,24 +31,43 @@ main()
                                 Commercial::TpcC, Commercial::TpcH};
     const std::uint32_t rpms[] = {6200, 5200, 4200};
 
+    // 3 workloads x 6 design points, all independent: one flat sweep.
+    std::vector<workload::Trace> traces;
     for (Commercial kind : kinds) {
         workload::CommercialParams wp;
         wp.kind = kind;
         wp.requests = requests;
-        const auto trace = workload::generateCommercial(wp);
-
-        std::vector<core::RunResult> rows;
+        traces.push_back(workload::generateCommercial(wp));
+    }
+    std::vector<exec::SimPoint> points;
+    std::size_t systems_per_workload = 0;
+    for (std::size_t t = 0; t < std::size(kinds); ++t) {
+        const Commercial kind = kinds[t];
+        std::vector<core::SystemConfig> configs;
         for (std::uint32_t rpm : rpms) {
             core::SystemConfig sa4 = core::makeSaSystem(kind, 4, rpm);
             sa4.name = "SA(4)/" + std::to_string(rpm);
-            rows.push_back(core::runTrace(trace, sa4));
+            configs.push_back(sa4);
         }
         for (std::uint32_t rpm : {6200u, 5200u}) {
             core::SystemConfig sa2 = core::makeSaSystem(kind, 2, rpm);
             sa2.name = "SA(2)/" + std::to_string(rpm);
-            rows.push_back(core::runTrace(trace, sa2));
+            configs.push_back(sa2);
         }
-        rows.push_back(core::runTrace(trace, core::makeMdSystem(kind)));
+        configs.push_back(core::makeMdSystem(kind));
+        systems_per_workload = configs.size();
+        for (auto &config : configs)
+            points.push_back({&traces[t], config});
+    }
+    const std::vector<core::RunResult> runs =
+        exec::runSimPoints(points);
+
+    std::size_t next = 0;
+    for (Commercial kind : kinds) {
+        const std::vector<core::RunResult> rows(
+            runs.begin() + next,
+            runs.begin() + next + systems_per_workload);
+        next += systems_per_workload;
 
         const std::string name = workload::commercialName(kind);
         core::printResponseCdf(std::cout,

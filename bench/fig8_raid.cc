@@ -22,6 +22,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "exec/sim_sweep.hh"
 #include "stats/table.hh"
 #include "workload/synthetic.hh"
 
@@ -46,12 +47,9 @@ main()
     const DriveKind kinds[] = {
         {"HC-SD", 1}, {"HC-SD-SA(2)", 2}, {"HC-SD-SA(4)", 4}};
 
-    // (inter-arrival, kind, disks) -> result, reused for the
-    // iso-performance power table.
-    std::map<std::tuple<double, std::string, std::uint32_t>,
-             core::RunResult>
-        results;
-
+    // All 45 (inter-arrival, disks, kind) simulation points are
+    // independent; build them up front and fan them across cores.
+    std::vector<workload::Trace> traces;
     for (double ia : inter_arrivals) {
         workload::SyntheticParams wp;
         wp.requests = requests;
@@ -61,8 +59,34 @@ main()
         wp.sequentialFraction = 0.2;
         // Fixed 700 GB dataset, independent of array width.
         wp.addressSpaceSectors = 700ULL * 1000 * 1000 * 1000 / 512;
-        const auto trace = workload::generateSynthetic(wp);
+        traces.push_back(workload::generateSynthetic(wp));
+    }
 
+    std::vector<exec::SimPoint> points;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        for (std::uint32_t disks : disk_counts) {
+            for (const auto &kind : kinds) {
+                disk::DriveSpec drive = disk::barracudaEs750();
+                if (kind.actuators > 1)
+                    drive = disk::makeIntraDiskParallel(
+                        drive, kind.actuators);
+                points.push_back(
+                    {&traces[t],
+                     core::makeRaid0System(kind.name, drive, disks)});
+            }
+        }
+    }
+    const std::vector<core::RunResult> runs =
+        exec::runSimPoints(points);
+
+    // (inter-arrival, kind, disks) -> result, reused for the
+    // iso-performance power table.
+    std::map<std::tuple<double, std::string, std::uint32_t>,
+             core::RunResult>
+        results;
+
+    std::size_t next = 0;
+    for (double ia : inter_arrivals) {
         stats::TextTable table(
             "Figure 8: 90th-percentile response time (ms), "
             "inter-arrival " +
@@ -75,14 +99,7 @@ main()
         for (std::uint32_t disks : disk_counts) {
             std::vector<std::string> row = {std::to_string(disks)};
             for (const auto &kind : kinds) {
-                disk::DriveSpec drive = disk::barracudaEs750();
-                if (kind.actuators > 1)
-                    drive = disk::makeIntraDiskParallel(
-                        drive, kind.actuators);
-                const core::SystemConfig config =
-                    core::makeRaid0System(kind.name, drive, disks);
-                const core::RunResult r =
-                    core::runTrace(trace, config);
+                const core::RunResult &r = runs[next++];
                 results[{ia, kind.name, disks}] = r;
                 row.push_back(stats::fmt(r.p90ResponseMs, 1));
             }

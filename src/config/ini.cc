@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <ostream>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -54,6 +55,10 @@ IniFile::parse(std::istream &is)
             if (text.back() != ']' || text.size() < 3)
                 parseError(line_no, text, "malformed section header");
             section = trim(text.substr(1, text.size() - 2));
+            // "[ ]" would name the section "", which the serialized
+            // form "[]" cannot represent — reject it at the source.
+            if (section.empty())
+                parseError(line_no, text, "empty section name");
             if (ini.sections_.find(section) == ini.sections_.end())
                 ini.sectionOrder_.push_back(section);
             ini.sections_[section]; // create
@@ -183,6 +188,76 @@ IniFile::keys(const std::string &section) const
     if (it == sections_.end())
         return {};
     return it->second.keyOrder;
+}
+
+void
+IniFile::write(std::ostream &os) const
+{
+    bool first = true;
+    for (const auto &name : sectionOrder_) {
+        if (!first)
+            os << '\n';
+        first = false;
+        os << '[' << name << "]\n";
+        const Section &sec = sections_.at(name);
+        for (const auto &key : sec.keyOrder)
+            os << key << " = " << sec.values.at(key) << '\n';
+    }
+}
+
+std::string
+IniFile::str() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+namespace {
+
+/**
+ * A token the "[section]\nkey = value" grammar can reproduce: no
+ * comment markers or newlines (no escaping exists), no surrounding
+ * whitespace (parsing trims it away), and section/key-specific
+ * structural characters rejected by the caller.
+ */
+void
+checkRepresentable(const std::string &what, const std::string &token,
+                   const std::string &forbidden)
+{
+    if (token.find_first_of(forbidden + "#;\r\n") != std::string::npos)
+        sim::fatal("IniFile::set: " + what + " '" + token +
+                   "' contains a character the INI grammar cannot "
+                   "represent");
+    if (trim(token) != token)
+        sim::fatal("IniFile::set: " + what + " '" + token +
+                   "' has surrounding whitespace, which parsing "
+                   "would trim");
+}
+
+} // namespace
+
+void
+IniFile::set(const std::string &section, const std::string &key,
+             const std::string &value)
+{
+    if (section.empty())
+        sim::fatal("IniFile::set: empty section name");
+    if (key.empty())
+        sim::fatal("IniFile::set: empty key");
+    checkRepresentable("section", section, "]");
+    checkRepresentable("key", key, "=");
+    if (!key.empty() && key.front() == '[')
+        sim::fatal("IniFile::set: key '" + key +
+                   "' would parse as a section header");
+    checkRepresentable("value", value, "");
+
+    if (sections_.find(section) == sections_.end())
+        sectionOrder_.push_back(section);
+    Section &sec = sections_[section];
+    if (sec.values.find(key) == sec.values.end())
+        sec.keyOrder.push_back(key);
+    sec.values[key] = value;
 }
 
 } // namespace config

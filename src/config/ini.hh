@@ -38,6 +38,22 @@ class IniFile
     /** Parse from a string (tests, inline configs). */
     static IniFile parseString(const std::string &text);
 
+    /**
+     * Serialize to the canonical "[section]\nkey = value" form, in
+     * first-seen order. parseString(str()) reproduces this document
+     * exactly (serialization is a fix point: str() of the reparse is
+     * byte-identical). Any parsed document is serializable; set()
+     * rejects tokens the grammar cannot represent (comment markers,
+     * newlines, surrounding whitespace — there is no escaping).
+     */
+    void write(std::ostream &os) const;
+    std::string str() const;
+
+    /** Set (or overwrite) one value, creating the section if new.
+     *  Fatal if a token is unrepresentable in the INI grammar. */
+    void set(const std::string &section, const std::string &key,
+             const std::string &value);
+
     /** True if [section] key exists. */
     bool has(const std::string &section,
              const std::string &key) const;

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <ostream>
 
 #include "sim/logging.hh"
 #include "stats/table.hh"
@@ -23,10 +24,8 @@ open(const std::string &path)
 } // namespace
 
 void
-writeCdfCsv(const std::string &path,
-            const std::vector<RunResult> &results)
+writeCdfCsv(std::ostream &os, const std::vector<RunResult> &results)
 {
-    std::ofstream os = open(path);
     os << "edge_ms";
     for (const auto &r : results)
         os << ',' << r.system;
@@ -47,10 +46,16 @@ writeCdfCsv(const std::string &path,
 }
 
 void
-writeRotPdfCsv(const std::string &path,
-               const std::vector<RunResult> &results)
+writeCdfCsv(const std::string &path,
+            const std::vector<RunResult> &results)
 {
     std::ofstream os = open(path);
+    writeCdfCsv(os, results);
+}
+
+void
+writeRotPdfCsv(std::ostream &os, const std::vector<RunResult> &results)
+{
     os << "edge_ms";
     for (const auto &r : results)
         os << ',' << r.system;
@@ -71,10 +76,17 @@ writeRotPdfCsv(const std::string &path,
 }
 
 void
-writeSummaryCsv(const std::string &path,
-                const std::vector<RunResult> &results)
+writeRotPdfCsv(const std::string &path,
+               const std::vector<RunResult> &results)
 {
     std::ofstream os = open(path);
+    writeRotPdfCsv(os, results);
+}
+
+void
+writeSummaryCsv(std::ostream &os,
+                const std::vector<RunResult> &results)
+{
     os << "system,requests,mean_ms,p90_ms,p99_ms,mean_rot_ms,iops,"
           "nonzero_seek,idle_w,seek_w,rot_w,transfer_w,total_w\n";
     for (const auto &r : results) {
@@ -95,6 +107,14 @@ writeSummaryCsv(const std::string &path,
                          4)
            << ',' << stats::fmt(r.power.totalAvgW(), 4) << '\n';
     }
+}
+
+void
+writeSummaryCsv(const std::string &path,
+                const std::vector<RunResult> &results)
+{
+    std::ofstream os = open(path);
+    writeSummaryCsv(os, results);
 }
 
 bool

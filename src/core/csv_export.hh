@@ -12,6 +12,7 @@
 #ifndef IDP_CORE_CSV_EXPORT_HH
 #define IDP_CORE_CSV_EXPORT_HH
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -21,14 +22,20 @@ namespace idp {
 namespace core {
 
 /** Write response-time CDF rows (edge, one column per system). */
+void writeCdfCsv(std::ostream &os,
+                 const std::vector<RunResult> &results);
 void writeCdfCsv(const std::string &path,
                  const std::vector<RunResult> &results);
 
 /** Write rotational-latency PDF rows. */
+void writeRotPdfCsv(std::ostream &os,
+                    const std::vector<RunResult> &results);
 void writeRotPdfCsv(const std::string &path,
                     const std::vector<RunResult> &results);
 
 /** Write one summary row per system (perf + power breakdown). */
+void writeSummaryCsv(std::ostream &os,
+                     const std::vector<RunResult> &results);
 void writeSummaryCsv(const std::string &path,
                      const std::vector<RunResult> &results);
 

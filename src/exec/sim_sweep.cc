@@ -1,0 +1,32 @@
+#include "exec/sim_sweep.hh"
+
+#include "exec/sweep_runner.hh"
+
+namespace idp {
+namespace exec {
+
+std::vector<core::RunResult>
+runSimPoints(const std::vector<SimPoint> &points, unsigned threads)
+{
+    SweepRunner runner(threads);
+    return runner.map(points,
+                      [](const SimPoint &point, const SweepPoint &) {
+                          return core::runTrace(*point.trace,
+                                                point.config);
+                      });
+}
+
+std::vector<core::RunResult>
+runSystems(const workload::Trace &trace,
+           const std::vector<core::SystemConfig> &systems,
+           unsigned threads)
+{
+    std::vector<SimPoint> points;
+    points.reserve(systems.size());
+    for (const auto &system : systems)
+        points.push_back(SimPoint{&trace, system});
+    return runSimPoints(points, threads);
+}
+
+} // namespace exec
+} // namespace idp

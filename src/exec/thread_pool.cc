@@ -1,0 +1,118 @@
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+
+namespace idp {
+namespace exec {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = std::max(1u, threads);
+    queues_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<WorkQueue>());
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    std::size_t victim;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        ++unfinished_;
+        victim = nextQueue_++ % queues_.size();
+    }
+    {
+        std::lock_guard<std::mutex> qlock(queues_[victim]->mutex);
+        queues_[victim]->tasks.push_back(std::move(task));
+    }
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        ++queued_;
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    idleCv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+bool
+ThreadPool::tryGetTask(std::size_t self, std::function<void()> &out)
+{
+    // Own queue first, front (most recently assigned locality) ...
+    {
+        WorkQueue &mine = *queues_[self];
+        std::lock_guard<std::mutex> qlock(mine.mutex);
+        if (!mine.tasks.empty()) {
+            out = std::move(mine.tasks.front());
+            mine.tasks.pop_front();
+            return true;
+        }
+    }
+    // ... then steal from the back of the other workers' queues.
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+        WorkQueue &theirs = *queues_[(self + i) % queues_.size()];
+        std::lock_guard<std::mutex> qlock(theirs.mutex);
+        if (!theirs.tasks.empty()) {
+            out = std::move(theirs.tasks.back());
+            theirs.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (tryGetTask(self, task)) {
+            {
+                std::lock_guard<std::mutex> lock(stateMutex_);
+                --queued_;
+            }
+            task();
+            bool drained;
+            {
+                std::lock_guard<std::mutex> lock(stateMutex_);
+                drained = (--unfinished_ == 0);
+            }
+            if (drained)
+                idleCv_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(stateMutex_);
+        workCv_.wait(lock,
+                     [this] { return stopping_ || queued_ > 0; });
+        if (stopping_ && queued_ == 0)
+            return;
+    }
+}
+
+} // namespace exec
+} // namespace idp

@@ -45,6 +45,21 @@ Rng::Rng(std::uint64_t seed)
         s = splitMix64(x);
 }
 
+Rng
+Rng::forStream(std::uint64_t base, std::uint64_t index)
+{
+    return Rng(streamSeed(base, index));
+}
+
+std::uint64_t
+streamSeed(std::uint64_t base, std::uint64_t index)
+{
+    std::uint64_t x = index;
+    const std::uint64_t mixed_index = splitMix64(x);
+    std::uint64_t y = base ^ mixed_index;
+    return splitMix64(y);
+}
+
 std::uint64_t
 Rng::next()
 {

@@ -29,6 +29,13 @@ class Rng
     /** Construct with the given seed; identical seeds replay streams. */
     explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
+    /**
+     * Generator for stream @p index of the family rooted at @p base:
+     * Rng(streamSeed(base, index)). Sweep engines use one stream per
+     * sweep point so results do not depend on execution order.
+     */
+    static Rng forStream(std::uint64_t base, std::uint64_t index);
+
     /** Next raw 64-bit value. */
     std::uint64_t next();
 
@@ -67,6 +74,18 @@ class Rng
     bool haveSpareNormal_ = false;
     double spareNormal_ = 0.0;
 };
+
+/**
+ * Derive the seed of stream @p index from a family's @p base seed.
+ *
+ * Two SplitMix64 mixing rounds (index first, then base) give an O(1),
+ * order-independent mapping with well-separated streams: any two
+ * distinct (base, index) pairs yield statistically independent
+ * generators. This is what makes parallel sweeps bit-reproducible —
+ * point i's randomness depends only on (base, i), never on which
+ * thread ran it or in what order.
+ */
+std::uint64_t streamSeed(std::uint64_t base, std::uint64_t index);
 
 /**
  * Zipf-distributed integer sampler over {0, ..., n-1} with exponent theta.

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cross-PR determinism regression: a small fixed scenario whose
+ * summary statistics are pinned to a checked-in golden file.
+ *
+ * The parallel-runner tests prove cross-*thread* determinism; this
+ * test catches cross-*PR* drift — any change to the simulator core,
+ * workload generator, RNG, stats formatting or power model that
+ * alters the numbers of a fixed scenario fails here, loudly, with a
+ * diffable CSV.
+ *
+ * Scenario: one HC-SD-SA(2) drive (the paper's 2-actuator design),
+ * 5,000 synthetic requests with exponential arrivals (mean 4 ms, 60%
+ * reads, 20% sequential — the Section 7.3 mix), default seed.
+ *
+ * Refreshing after an *intentional* model change:
+ *
+ *     IDP_UPDATE_GOLDEN=1 ./build/tests/idp_tests \
+ *         --gtest_filter='DeterminismGolden.*'
+ *
+ * then review the golden diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/csv_export.hh"
+#include "core/experiment.hh"
+#include "workload/synthetic.hh"
+
+namespace {
+
+using namespace idp;
+
+const char *kGoldenRelPath = "/tests/golden/determinism_sa2.csv";
+
+std::string
+goldenPath()
+{
+    return std::string(IDP_SOURCE_DIR) + kGoldenRelPath;
+}
+
+std::string
+runScenario()
+{
+    workload::SyntheticParams wp;
+    wp.requests = 5000;
+    wp.meanInterArrivalMs = 4.0; // exponential arrivals
+    const auto trace = workload::generateSynthetic(wp);
+
+    const core::SystemConfig config = core::makeRaid0System(
+        "HC-SD-SA(2)",
+        disk::makeIntraDiskParallel(disk::barracudaEs750(), 2), 1);
+    const std::vector<core::RunResult> results = {
+        core::runTrace(trace, config)};
+
+    std::ostringstream os;
+    core::writeSummaryCsv(os, results);
+    core::writeCdfCsv(os, results);
+    core::writeRotPdfCsv(os, results);
+    return os.str();
+}
+
+TEST(DeterminismGolden, Sa2ExponentialScenarioMatchesGoldenFile)
+{
+    const std::string measured = runScenario();
+
+    if (std::getenv("IDP_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream os(goldenPath());
+        ASSERT_TRUE(os) << "cannot write " << goldenPath();
+        os << measured;
+        GTEST_SKIP() << "golden file refreshed: " << goldenPath();
+    }
+
+    std::ifstream is(goldenPath());
+    ASSERT_TRUE(is) << "missing golden file " << goldenPath()
+                    << " — generate it with IDP_UPDATE_GOLDEN=1";
+    std::stringstream golden;
+    golden << is.rdbuf();
+
+    EXPECT_EQ(golden.str(), measured)
+        << "simulator output drifted from " << goldenPath()
+        << "\nIf this change is intentional, refresh with "
+           "IDP_UPDATE_GOLDEN=1 and review the diff.";
+}
+
+TEST(DeterminismGolden, ScenarioIsRunToRunStable)
+{
+    // The golden comparison is only meaningful if the scenario is a
+    // pure function — two in-process runs must agree byte-for-byte.
+    EXPECT_EQ(runScenario(), runScenario());
+}
+
+} // namespace

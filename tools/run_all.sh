@@ -1,18 +1,35 @@
 #!/bin/sh
 # Build, test, and regenerate every table/figure into results/.
-# Usage: tools/run_all.sh [IDP_REQUESTS]
+# Usage: tools/run_all.sh [IDP_REQUESTS] [IDP_THREADS]
+#
+# IDP_THREADS (2nd arg or inherited env) is passed through to every
+# bench binary: it sets the sweep engine's worker count (default: all
+# hardware threads; 1 = the exact serial path). Results are
+# bit-identical at any thread count.
 set -e
 cd "$(dirname "$0")/.."
-[ -n "$1" ] && export IDP_REQUESTS="$1"
 
-cmake -B build -G Ninja
-cmake --build build
+# Prefer Ninja when available, fall back to the default generator
+# (the tier-1 verify line uses plain Make; both must work).
+if [ ! -f build/CMakeCache.txt ]; then
+    if command -v ninja >/dev/null 2>&1; then
+        cmake -B build -G Ninja
+    else
+        cmake -B build
+    fi
+fi
+cmake --build build -j "$(nproc 2>/dev/null || echo 2)"
 ctest --test-dir build --output-on-failure
+
+# Scale/thread overrides apply to the bench runs only — exporting them
+# before ctest would perturb env-sensitive tests (e.g. BenchScale).
+[ -n "$1" ] && export IDP_REQUESTS="$1"
+[ -n "$2" ] && export IDP_THREADS="$2"
 
 mkdir -p results
 for b in build/bench/*; do
     name=$(basename "$b")
-    echo "== $name =="
+    echo "== $name (IDP_THREADS=${IDP_THREADS:-auto}) =="
     "$b" | tee "results/$name.txt"
 done
 echo "All outputs written to results/."
