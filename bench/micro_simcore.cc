@@ -16,6 +16,7 @@
 #include "sched/scheduler.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "telemetry/telemetry.hh"
 
 namespace {
 
@@ -105,38 +106,69 @@ BM_SptfSelect(benchmark::State &state)
 }
 BENCHMARK(BM_SptfSelect)->Arg(8)->Arg(48)->Arg(128);
 
+/** One drive servicing 512 random reads; shared by the variants. */
+void
+driveServiceOnce(std::uint32_t arms)
+{
+    sim::Simulator simul;
+    disk::DriveSpec spec = disk::makeIntraDiskParallel(
+        disk::enterpriseDrive(2.0, 10000, 2), arms);
+    std::uint64_t done = 0;
+    disk::DiskDrive drive(
+        simul, spec,
+        [&done](const workload::IoRequest &, sim::Tick,
+                const disk::ServiceInfo &) { ++done; });
+    sim::Rng rng(7);
+    const std::uint64_t total = drive.geometry().totalSectors() - 64;
+    for (int i = 0; i < 512; ++i) {
+        workload::IoRequest req;
+        req.id = i;
+        req.arrival = 0;
+        req.lba = rng.uniformInt(total);
+        req.sectors = 8;
+        req.isRead = true;
+        simul.schedule(0, [&drive, req] { drive.submit(req); });
+    }
+    simul.run();
+    benchmark::DoNotOptimize(done);
+}
+
+/**
+ * Telemetry compiled in but no tracer installed: the hooks are one
+ * thread-local load and branch each. The acceptance bound for the
+ * telemetry subsystem is <2% slowdown of this benchmark relative to
+ * an IDP_TELEMETRY=OFF build (where the hooks fold away entirely).
+ */
 void
 BM_DriveServiceRate(benchmark::State &state)
 {
     const std::uint32_t arms = static_cast<std::uint32_t>(
         state.range(0));
-    for (auto _ : state) {
-        sim::Simulator simul;
-        disk::DriveSpec spec = disk::makeIntraDiskParallel(
-            disk::enterpriseDrive(2.0, 10000, 2), arms);
-        std::uint64_t done = 0;
-        disk::DiskDrive drive(
-            simul, spec,
-            [&done](const workload::IoRequest &, sim::Tick,
-                    const disk::ServiceInfo &) { ++done; });
-        sim::Rng rng(7);
-        const std::uint64_t total =
-            drive.geometry().totalSectors() - 64;
-        for (int i = 0; i < 512; ++i) {
-            workload::IoRequest req;
-            req.id = i;
-            req.arrival = 0;
-            req.lba = rng.uniformInt(total);
-            req.sectors = 8;
-            req.isRead = true;
-            simul.schedule(0, [&drive, req] { drive.submit(req); });
-        }
-        simul.run();
-        benchmark::DoNotOptimize(done);
-    }
+    for (auto _ : state)
+        driveServiceOnce(arms);
     state.SetItemsProcessed(state.iterations() * 512);
 }
 BENCHMARK(BM_DriveServiceRate)->Arg(1)->Arg(4);
+
+/** Same work with a live tracer + registry: the tracing-on cost. */
+void
+BM_DriveServiceRateTraced(benchmark::State &state)
+{
+    const std::uint32_t arms = static_cast<std::uint32_t>(
+        state.range(0));
+    for (auto _ : state) {
+        telemetry::Registry registry;
+        telemetry::TraceOptions topts;
+        topts.enabled = true;
+        telemetry::Tracer tracer(topts);
+        telemetry::RegistryScope rscope(&registry);
+        telemetry::TraceScope tscope(&tracer);
+        driveServiceOnce(arms);
+        benchmark::DoNotOptimize(tracer.ring().size());
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_DriveServiceRateTraced)->Arg(1)->Arg(4);
 
 } // namespace
 

@@ -10,8 +10,12 @@
  *   replay <file> [disks] [actuators]
  *       Replay a trace against a RAID-0 array of intra-disk parallel
  *       drives and print the results.
+ *   inspect <file> [requests]
+ *       Traced replay: print a span timeline for the first few
+ *       requests plus the measured time-attribution table.
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -19,6 +23,7 @@
 #include "core/experiment.hh"
 #include "core/report.hh"
 #include "stats/table.hh"
+#include "telemetry/telemetry.hh"
 #include "workload/commercial.hh"
 #include "workload/locality.hh"
 #include "workload/synthetic.hh"
@@ -35,7 +40,8 @@ usage()
               << "  trace_tools gen <financial|websearch|tpcc|tpch|"
                  "synthetic> <requests> <file>\n"
               << "  trace_tools info <file>\n"
-              << "  trace_tools replay <file> [disks] [actuators]\n";
+              << "  trace_tools replay <file> [disks] [actuators]\n"
+              << "  trace_tools inspect <file> [requests]\n";
     return 2;
 }
 
@@ -73,6 +79,83 @@ printInfo(const workload::Trace &trace)
     locality.addRow(
         {"footprint ratio", stats::fmt(loc.footprintRatio, 3)});
     locality.print(std::cout);
+}
+
+/**
+ * Flatten per-device addresses onto one logical space by treating
+ * (device, lba) as a concatenated offset.
+ */
+workload::Trace
+flattenDevices(const workload::Trace &trace)
+{
+    workload::Trace flat = trace;
+    std::uint64_t max_lba = 0;
+    for (const auto &r : trace)
+        max_lba = std::max(
+            max_lba, static_cast<std::uint64_t>(r.lba) + r.sectors);
+    for (auto &r : flat) {
+        r.lba += static_cast<geom::Lba>(r.device) * max_lba;
+        r.device = 0;
+    }
+    return flat;
+}
+
+int
+inspectTrace(const std::string &path, std::uint64_t show)
+{
+    if (!telemetry::kCompiledIn) {
+        std::cerr << "trace_tools: built with IDP_TELEMETRY=OFF;"
+                     " inspect unavailable\n";
+        return 1;
+    }
+    const workload::Trace raw = workload::readTraceFile(path);
+    const workload::Trace flat = flattenDevices(raw);
+
+    const auto config = core::makeRaid0System(
+        "inspect", disk::barracudaEs750(), 1);
+    telemetry::TraceOptions topts;
+    topts.enabled = true;
+    const core::RunResult result =
+        core::runTrace(flat, config, topts);
+
+    // Per-request timeline for the first few retained request ids.
+    // Spans are ring-ordered (record order); group them by id.
+    std::vector<std::uint64_t> order;
+    for (const auto &span : result.trace->spans) {
+        if (span.id == 0)
+            continue; // destage / internal traffic
+        if (std::find(order.begin(), order.end(), span.id) ==
+            order.end())
+            order.push_back(span.id);
+        if (order.size() >= show)
+            break;
+    }
+    for (const std::uint64_t id : order) {
+        stats::TextTable table("request " + std::to_string(id));
+        table.setHeader(
+            {"Phase", "Begin(ms)", "End(ms)", "Dur(ms)", "Disk",
+             "Arm"});
+        for (const auto &span : result.trace->spans) {
+            if (span.id != id)
+                continue;
+            table.addRow({
+                telemetry::spanKindName(span.kind),
+                stats::fmt(sim::ticksToMs(span.begin), 3),
+                stats::fmt(sim::ticksToMs(span.end), 3),
+                stats::fmt(sim::ticksToMs(span.ticks()), 3),
+                std::to_string(span.dev),
+                std::to_string(span.arm),
+            });
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+    if (result.trace->dropped > 0)
+        std::cout << "(" << result.trace->dropped
+                  << " spans dropped; raise IDP_TRACE_BUF)\n";
+
+    core::printAttribution(std::cout, "Time attribution", {result});
+    return 0;
 }
 
 } // namespace
@@ -143,23 +226,21 @@ main(int argc, char **argv)
                 std::to_string(actuators) + ")",
             drive, disks);
 
-        // Flatten per-device addresses onto the array's logical space
-        // by treating (device, lba) as a concatenated offset.
-        workload::Trace flat = trace;
-        std::uint64_t max_lba = 0;
-        for (const auto &r : trace)
-            max_lba = std::max(max_lba,
-                               static_cast<std::uint64_t>(r.lba) +
-                                   r.sectors);
-        for (auto &r : flat) {
-            r.lba += static_cast<geom::Lba>(r.device) * max_lba;
-            r.device = 0;
-        }
+        const workload::Trace flat = flattenDevices(trace);
         const auto result = idp::core::runTrace(flat, config);
         idp::core::printSummary(std::cout, "Replay results", {result});
         idp::core::printResponseCdf(std::cout, "Response-time CDF",
                                     {result});
         return 0;
+    }
+
+    if (cmd == "inspect") {
+        if (argc < 3)
+            return usage();
+        const std::uint64_t show = argc > 3
+            ? static_cast<std::uint64_t>(std::atoll(argv[3]))
+            : 5;
+        return inspectTrace(argv[2], std::max<std::uint64_t>(show, 1));
     }
 
     return usage();

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace idp {
 namespace array {
@@ -35,7 +36,10 @@ StorageArray::StorageArray(sim::Simulator &simul,
                    const disk::ServiceInfo &info) {
                 onSubComplete(req, done, info);
             }));
+        disks_.back()->setTelemetryId(i);
     }
+    ctrLogical_ = telemetry::counterHandle("array.logical_requests");
+    ctrSubs_ = telemetry::counterHandle("array.sub_requests");
     diskSectors_ = disks_[0]->geometry().totalSectors();
     failed_.assign(params_.disks, false);
 
@@ -135,9 +139,10 @@ StorageArray::submitSub(std::uint32_t disk_idx, workload::IoRequest sub,
             sub.sectors = 1;
         sub.lba = sub.lba % (diskSectors_ - sub.sectors);
     }
+    telemetry::bump(ctrSubs_);
     if (bus_ && !sub.isRead) {
         // Writes move their data over the interconnect first.
-        bus_->transfer(sub.bytes(), [this, disk_idx, sub] {
+        bus_->transfer(sub.bytes(), join_id, [this, disk_idx, sub] {
             disks_[disk_idx]->submit(sub);
         });
         return;
@@ -149,6 +154,12 @@ void
 StorageArray::submit(const workload::IoRequest &req)
 {
     ++stats_.logicalArrivals;
+    telemetry::bump(ctrLogical_);
+    // Fan-out marker; sub-request spans carry the join id instead of
+    // the logical id, so the instant ties the two id spaces together.
+    telemetry::emitInstant(req.id, telemetry::SpanKind::RaidSplit,
+                           sim_.now(),
+                           static_cast<std::uint32_t>(nextJoinId_));
     const std::uint64_t join_id = nextJoinId_++;
     Join join;
     join.logical = req;
@@ -367,7 +378,7 @@ StorageArray::onSubComplete(const workload::IoRequest &sub,
         // Read data returns to the host over the interconnect.
         const std::uint64_t join_id = sub.id;
         const std::uint64_t bytes = sub.bytes();
-        bus_->transfer(bytes, [this, join_id] {
+        bus_->transfer(bytes, join_id, [this, join_id] {
             finishSub(join_id, sim_.now());
         });
         return;
@@ -398,6 +409,9 @@ StorageArray::finishSub(std::uint64_t join_id, sim::Tick done)
     const workload::IoRequest logical = join.logical;
     joins_.erase(it);
     ++stats_.logicalCompletions;
+    telemetry::emitSpan(logical.id, telemetry::SpanKind::RaidJoin,
+                        logical.arrival, done,
+                        static_cast<std::uint32_t>(join_id));
     const double resp_ms = sim::ticksToMs(done - logical.arrival);
     stats_.responseMs.add(resp_ms);
     stats_.responseHist.add(resp_ms);

@@ -171,6 +171,9 @@ class StorageArray
     std::uint64_t rrRead_ = 0; // Raid1 tie-break
     std::vector<bool> failed_;
     ArrayStats stats_;
+    /** Registry handles (null when no registry is installed). */
+    telemetry::Counter *ctrLogical_ = nullptr;
+    telemetry::Counter *ctrSubs_ = nullptr;
 
     void submitSub(std::uint32_t disk_idx, workload::IoRequest sub,
                    std::uint64_t join_id);

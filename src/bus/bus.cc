@@ -16,6 +16,8 @@ Bus::Bus(sim::Simulator &simul, const BusParams &params)
     sim::simAssert(params.perTransferOverheadMs >= 0.0,
                    "bus: negative overhead");
     channelFreeAt_.assign(params.channels, 0);
+    ctrTransfers_ = telemetry::counterHandle("bus.transfers");
+    ctrBytes_ = telemetry::counterHandle("bus.bytes_moved");
 }
 
 sim::Tick
@@ -29,6 +31,13 @@ Bus::transferTicks(std::uint64_t bytes) const
 
 void
 Bus::transfer(std::uint64_t bytes, std::function<void()> done)
+{
+    transfer(bytes, 0, std::move(done));
+}
+
+void
+Bus::transfer(std::uint64_t bytes, std::uint64_t request_id,
+              std::function<void()> done)
 {
     const sim::Tick now = sim_.now();
     // Least-backlogged channel; FIFO within the channel falls out of
@@ -44,6 +53,10 @@ Bus::transfer(std::uint64_t bytes, std::function<void()> done)
     stats_.bytesMoved += bytes;
     stats_.busyTicks += duration;
     stats_.queueTicks += start - now;
+    telemetry::bump(ctrTransfers_);
+    telemetry::bump(ctrBytes_, bytes);
+    // Span covers channel wait plus the movement itself.
+    telemetry::emitSpan(request_id, telemetry::SpanKind::Bus, now, end);
 
     sim_.schedule(end, std::move(done));
 }

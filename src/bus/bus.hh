@@ -26,6 +26,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
+#include "telemetry/telemetry.hh"
 
 namespace idp {
 namespace bus {
@@ -77,6 +78,13 @@ class Bus
     /** Move @p bytes; @p done fires at completion time. */
     void transfer(std::uint64_t bytes, std::function<void()> done);
 
+    /**
+     * Same, tagging the movement with the request id it serves so
+     * telemetry can attribute the bus span.
+     */
+    void transfer(std::uint64_t bytes, std::uint64_t request_id,
+                  std::function<void()> done);
+
     /** Duration one transfer of @p bytes occupies a channel. */
     sim::Tick transferTicks(std::uint64_t bytes) const;
 
@@ -92,6 +100,9 @@ class Bus
     /** Earliest time each channel frees up. */
     std::vector<sim::Tick> channelFreeAt_;
     BusStats stats_;
+    /** Registry handles (null when no registry is installed). */
+    telemetry::Counter *ctrTransfers_ = nullptr;
+    telemetry::Counter *ctrBytes_ = nullptr;
 };
 
 } // namespace bus

@@ -117,6 +117,25 @@ writeSummaryCsv(const std::string &path,
     writeSummaryCsv(os, results);
 }
 
+void
+writeMetricsCsv(std::ostream &os,
+                const std::vector<RunResult> &results)
+{
+    os << "system,metric,value\n";
+    for (const auto &r : results)
+        for (const auto &m : r.metrics)
+            os << r.system << ',' << m.name << ','
+               << stats::fmt(m.value, 6) << '\n';
+}
+
+void
+writeMetricsCsv(const std::string &path,
+                const std::vector<RunResult> &results)
+{
+    std::ofstream os = open(path);
+    writeMetricsCsv(os, results);
+}
+
 bool
 maybeExportCsv(const std::string &stem,
                const std::vector<RunResult> &results)
@@ -128,6 +147,11 @@ maybeExportCsv(const std::string &stem,
     writeCdfCsv(base + "_cdf.csv", results);
     writeRotPdfCsv(base + "_rotpdf.csv", results);
     writeSummaryCsv(base + "_summary.csv", results);
+    bool any_metrics = false;
+    for (const auto &r : results)
+        any_metrics = any_metrics || !r.metrics.empty();
+    if (any_metrics)
+        writeMetricsCsv(base + "_metrics.csv", results);
     return true;
 }
 

@@ -40,8 +40,18 @@ void writeSummaryCsv(const std::string &path,
                      const std::vector<RunResult> &results);
 
 /**
+ * Write the telemetry-registry snapshots as long-form rows
+ * (system,metric,value). Results without metrics contribute nothing.
+ */
+void writeMetricsCsv(std::ostream &os,
+                     const std::vector<RunResult> &results);
+void writeMetricsCsv(const std::string &path,
+                     const std::vector<RunResult> &results);
+
+/**
  * Bench helper: when IDP_CSV_DIR is set, write all three files as
- * <dir>/<stem>_{cdf,rotpdf,summary}.csv and return true.
+ * <dir>/<stem>_{cdf,rotpdf,summary}.csv (plus <stem>_metrics.csv
+ * for traced results) and return true.
  */
 bool maybeExportCsv(const std::string &stem,
                     const std::vector<RunResult> &results);

@@ -5,6 +5,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace idp {
 namespace core {
@@ -78,7 +79,29 @@ makeRaid0System(const std::string &name, const disk::DriveSpec &drive,
 RunResult
 runTrace(const workload::Trace &trace, const SystemConfig &config)
 {
+    return runTrace(trace, config, telemetry::TraceOptions::fromEnv());
+}
+
+RunResult
+runTrace(const workload::Trace &trace, const SystemConfig &config,
+         const telemetry::TraceOptions &trace_options)
+{
     sim::simAssert(!trace.empty(), "runTrace: empty trace");
+
+    // Install the per-run telemetry currents *before* the system is
+    // built: modules grab their counter handles at construction.
+    std::unique_ptr<telemetry::Registry> registry;
+    std::unique_ptr<telemetry::Tracer> tracer;
+    std::unique_ptr<telemetry::RegistryScope> registry_scope;
+    std::unique_ptr<telemetry::TraceScope> trace_scope;
+    if (telemetry::kCompiledIn && trace_options.enabled) {
+        registry = std::make_unique<telemetry::Registry>();
+        tracer = std::make_unique<telemetry::Tracer>(trace_options);
+        registry_scope =
+            std::make_unique<telemetry::RegistryScope>(registry.get());
+        trace_scope =
+            std::make_unique<telemetry::TraceScope>(tracer.get());
+    }
 
     sim::Simulator simul;
     array::StorageArray arr(simul, config.array);
@@ -129,6 +152,21 @@ runTrace(const workload::Trace &trace, const SystemConfig &config)
     result.throughputIops = result.wallSeconds > 0.0
         ? static_cast<double>(result.completions) / result.wallSeconds
         : 0.0;
+
+    if (registry) {
+        // Event-kernel health gauges join the module counters.
+        registry->setGauge("sim.events_fired",
+                           static_cast<double>(simul.eventsFired()));
+        registry->setGauge("sim.peak_pending",
+                           static_cast<double>(simul.peakPending()));
+        registry->setGauge(
+            "sim.events_cancelled",
+            static_cast<double>(simul.eventsCancelled()));
+        result.metrics = registry->snapshot();
+    }
+    if (tracer)
+        result.trace = std::make_shared<const telemetry::TraceData>(
+            tracer->finish());
     return result;
 }
 

@@ -21,13 +21,17 @@
 #define IDP_CORE_EXPERIMENT_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "array/storage_array.hh"
 #include "disk/drive_config.hh"
 #include "power/power_model.hh"
 #include "stats/histogram.hh"
 #include "stats/sampler.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/tracer.hh"
 #include "workload/commercial.hh"
 #include "workload/request.hh"
 
@@ -89,11 +93,27 @@ struct RunResult
     std::uint64_t hardErrors = 0;   ///< retry budget exhausted
     double nonzeroSeekFraction = 0.0;
     double throughputIops = 0.0;
+
+    /**
+     * Telemetry products, populated only when the run was traced.
+     * The trace is shared so RunResult stays cheap to copy (sweep
+     * slots move results around); spans ride inside the result, so
+     * the SweepRunner's index-ordered slots make any merge of traced
+     * runs deterministic at every IDP_THREADS.
+     */
+    std::shared_ptr<const telemetry::TraceData> trace;
+    std::vector<telemetry::MetricSample> metrics;
 };
 
-/** Run @p trace against @p config to completion (open loop). */
+/** Run @p trace against @p config to completion (open loop).
+ *  Tracing follows the environment (IDP_TRACE / IDP_TRACE_SAMPLE). */
 RunResult runTrace(const workload::Trace &trace,
                    const SystemConfig &config);
+
+/** Same, with explicit tracing control (benches, tests). */
+RunResult runTrace(const workload::Trace &trace,
+                   const SystemConfig &config,
+                   const telemetry::TraceOptions &trace_options);
 
 /**
  * Environment-driven scale factor for bench run lengths: IDP_SCALE

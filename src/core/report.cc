@@ -89,6 +89,83 @@ printPowerBreakdown(std::ostream &os, const std::string &title,
     os << '\n';
 }
 
+telemetry::SpanKind
+dominantServiceComponent(const telemetry::TraceData &trace,
+                         double *total_ms)
+{
+    telemetry::SpanKind best = telemetry::SpanKind::Seek;
+    double best_ms = -1.0;
+    for (std::size_t k = 0; k < telemetry::kSpanKindCount; ++k) {
+        const auto kind = static_cast<telemetry::SpanKind>(k);
+        if (!telemetry::isServiceComponent(kind))
+            continue;
+        const double ms = trace.totalMs(kind);
+        if (ms > best_ms) {
+            best_ms = ms;
+            best = kind;
+        }
+    }
+    if (total_ms != nullptr)
+        *total_ms = best_ms;
+    return best;
+}
+
+void
+printAttribution(std::ostream &os, const std::string &title,
+                 const std::vector<RunResult> &results)
+{
+    TextTable table(title);
+    table.setHeader({"System", "Phase", "Count", "Mean(ms)",
+                     "Total(s)", "ServiceShare"});
+    bool skipped = false;
+    for (const auto &r : results) {
+        if (!r.trace) {
+            skipped = true;
+            continue;
+        }
+        const telemetry::TraceData &trace = *r.trace;
+        double service_ms = 0.0;
+        for (std::size_t k = 0; k < telemetry::kSpanKindCount; ++k) {
+            const auto kind = static_cast<telemetry::SpanKind>(k);
+            if (telemetry::isServiceComponent(kind))
+                service_ms += trace.totalMs(kind);
+        }
+        for (std::size_t k = 0; k < telemetry::kSpanKindCount; ++k) {
+            const auto kind = static_cast<telemetry::SpanKind>(k);
+            const telemetry::PhaseAccum &accum = trace.phase(kind);
+            if (accum.count == 0)
+                continue;
+            const double total = trace.totalMs(kind);
+            std::string share = "-";
+            if (telemetry::isServiceComponent(kind) &&
+                service_ms > 0.0)
+                share = stats::fmtPct(total / service_ms, 1);
+            table.addRow({
+                r.system,
+                telemetry::spanKindName(kind),
+                fmt(static_cast<double>(accum.count), 0),
+                fmt(trace.meanMs(kind), 3),
+                fmt(total / 1000.0, 2),
+                share,
+            });
+        }
+        double dom_ms = 0.0;
+        const auto dom = dominantServiceComponent(trace, &dom_ms);
+        table.addRow({
+            r.system,
+            "dominant",
+            "-",
+            "-",
+            fmt(dom_ms / 1000.0, 2),
+            telemetry::spanKindName(dom),
+        });
+    }
+    table.print(os);
+    if (skipped)
+        os << "(untraced results omitted; run with IDP_TRACE=1)\n";
+    os << '\n';
+}
+
 void
 printSummary(std::ostream &os, const std::string &title,
              const std::vector<RunResult> &results)

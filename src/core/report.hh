@@ -36,6 +36,24 @@ void printPowerBreakdown(std::ostream &os, const std::string &title,
 void printSummary(std::ostream &os, const std::string &title,
                   const std::vector<RunResult> &results);
 
+/**
+ * Print the measured time-attribution table: for each traced system,
+ * mean milliseconds per occurrence and total share of service time
+ * for every span kind, plus the dominant service component
+ * (seek / rot_wait / channel_wait / transfer). Untraced results (no
+ * RunResult::trace) are skipped with a note.
+ */
+void printAttribution(std::ostream &os, const std::string &title,
+                      const std::vector<RunResult> &results);
+
+/**
+ * The service component (Seek/RotWait/ChannelWait/Transfer) with the
+ * largest total time in @p trace. Returns the kind and writes the
+ * total milliseconds to @p total_ms when non-null.
+ */
+telemetry::SpanKind dominantServiceComponent(
+    const telemetry::TraceData &trace, double *total_ms = nullptr);
+
 } // namespace core
 } // namespace idp
 

@@ -37,6 +37,11 @@ DiskDrive::DiskDrive(sim::Simulator &simul, const DriveSpec &spec,
                                        geometry_.cylinders() / n);
     }
     stats_.armAccesses.assign(n, 0);
+    ctrMediaAccesses_ = telemetry::counterHandle("disk.media_accesses");
+    ctrCacheHits_ = telemetry::counterHandle("disk.cache_hits");
+    ctrChannelBlocks_ = telemetry::counterHandle("disk.channel_blocks");
+    ctrZeroLatHits_ = telemetry::counterHandle("disk.zero_latency_hits");
+    ctrSpinUps_ = telemetry::counterHandle("disk.spin_ups");
     nextInternalId_ = 1;
     headSwitchTicks_ = sim::msToTicks(spec_.headSwitchMs);
     controllerTicks_ = sim::msToTicks(spec_.controllerOverheadMs);
@@ -173,9 +178,15 @@ DiskDrive::submit(const workload::IoRequest &req)
                    "disk: request beyond device capacity");
 
     if (req.isRead) {
-        if (cache_.readLookup(req.lba, req.sectors)) {
+        const bool hit = cache_.readLookup(req.lba, req.sectors);
+        telemetry::emitInstant(req.id, telemetry::SpanKind::CacheLookup,
+                               sim_.now(), telemetryId_, hit ? 1 : 0);
+        if (hit) {
             ++stats_.cacheHits;
+            telemetry::bump(ctrCacheHits_);
             const sim::Tick done = sim_.now() + busTicks(req.sectors);
+            telemetry::emitSpan(req.id, telemetry::SpanKind::CacheHit,
+                                sim_.now(), done, telemetryId_);
             workload::IoRequest copy = req;
             sim_.schedule(done, [this, copy, done] {
                 ++stats_.completions;
@@ -193,7 +204,10 @@ DiskDrive::submit(const workload::IoRequest &req)
     } else {
         if (cache_.write(req.lba, req.sectors)) {
             // Write-back absorbed the write; destage happens later.
+            telemetry::bump(ctrCacheHits_);
             const sim::Tick done = sim_.now() + busTicks(req.sectors);
+            telemetry::emitSpan(req.id, telemetry::SpanKind::CacheHit,
+                                sim_.now(), done, telemetryId_);
             workload::IoRequest copy = req;
             sim_.schedule(done, [this, copy, done] {
                 ++stats_.completions;
@@ -253,6 +267,10 @@ DiskDrive::beginSpinUpIfNeeded()
         return;
     spinningUp_ = true;
     ++stats_.spinUps;
+    telemetry::bump(ctrSpinUps_);
+    telemetry::emitSpan(0, telemetry::SpanKind::SpinUp, sim_.now(),
+                        sim_.now() + sim::msToTicks(spec_.spinUpMs),
+                        telemetryId_);
     sim_.scheduleAfter(sim::msToTicks(spec_.spinUpMs), [this] {
         modes_.spinUp(sim_.now());
         spinningUp_ = false;
@@ -364,6 +382,14 @@ DiskDrive::startService(Active active)
     modes_.requestStart(now);
     ++stats_.mediaAccesses;
     ++stats_.armAccesses[active.arm];
+    telemetry::bump(ctrMediaAccesses_);
+    telemetry::emitSpan(active.req.id, telemetry::SpanKind::HostQueue,
+                        active.req.arrival, now, telemetryId_,
+                        static_cast<std::uint16_t>(active.arm));
+    telemetry::emitInstant(active.req.id,
+                           telemetry::SpanKind::ArmSelect, now,
+                           telemetryId_,
+                           static_cast<std::uint16_t>(active.arm));
     if (active.seekTicks > 0)
         ++stats_.nonzeroSeeks;
 
@@ -389,6 +415,9 @@ DiskDrive::onSeekDone(std::uint64_t id)
     sim::simAssert(activeSeeks_ > 0, "disk: seek budget underflow");
     --activeSeeks_;
     modes_.seekEnd(now);
+    telemetry::emitSpan(active.req.id, telemetry::SpanKind::Seek,
+                        now - active.seekTicks, now, telemetryId_,
+                        static_cast<std::uint16_t>(active.arm));
     startRotation(id);
     // Freed motion budget may admit the next pending request.
     tryDispatch();
@@ -421,6 +450,7 @@ DiskDrive::startRotation(std::uint64_t id)
             if (to_start + run_ticks > period) {
                 // The head is inside the run right now.
                 ++stats_.zeroLatencyHits;
+                telemetry::bump(ctrZeroLatHits_);
                 active.xferOverride = period;
                 onRotationDone(id);
                 return;
@@ -430,10 +460,15 @@ DiskDrive::startRotation(std::uint64_t id)
 
     const sim::Tick wait = armRotWait(now, active.chs, active.arm);
     active.rotTicks += wait;
-    if (wait > 0)
+    if (wait > 0) {
+        telemetry::emitSpan(active.req.id,
+                            telemetry::SpanKind::RotWait, now,
+                            now + wait, telemetryId_,
+                            static_cast<std::uint16_t>(active.arm));
         sim_.schedule(now + wait, [this, id] { onRotationDone(id); });
-    else
+    } else {
         onRotationDone(id);
+    }
 }
 
 void
@@ -451,6 +486,8 @@ DiskDrive::tryStartTransfer(std::uint64_t id)
     Active &active = active_.at(id);
     if (activeTransfers_ >= spec_.maxConcurrentTransfers) {
         channelWaiters_.push_back(id);
+        active.channelWaitFrom = now;
+        telemetry::bump(ctrChannelBlocks_);
         return;
     }
     ++activeTransfers_;
@@ -467,6 +504,9 @@ DiskDrive::tryStartTransfer(std::uint64_t id)
         active.xferTicks =
             transferTicks(active.chs, totalSectors(active)) / s_par +
             controllerTicks_;
+    telemetry::emitSpan(active.req.id, telemetry::SpanKind::Transfer,
+                        now, now + active.xferTicks, telemetryId_,
+                        static_cast<std::uint16_t>(active.arm));
     sim_.schedule(now + active.xferTicks,
                   [this, id] { onTransferDone(id); });
 }
@@ -493,6 +533,10 @@ DiskDrive::onTransferDone(std::uint64_t id)
             const sim::Tick rev = spindle_.periodTicks();
             active.rotTicks += rev;
             active.phase = Phase::Rotating;
+            telemetry::emitSpan(
+                active.req.id, telemetry::SpanKind::RotWait, now,
+                now + rev, telemetryId_,
+                static_cast<std::uint16_t>(active.arm));
             sim_.schedule(now + rev,
                           [this, id] { onRotationDone(id); });
             // The freed channel may admit a waiter immediately.
@@ -501,10 +545,23 @@ DiskDrive::onTransferDone(std::uint64_t id)
                 const std::uint64_t wid = channelWaiters_.front();
                 channelWaiters_.erase(channelWaiters_.begin());
                 Active &waiter = active_.at(wid);
+                if (waiter.channelWaitFrom != sim::kTickNever) {
+                    telemetry::emitSpan(
+                        waiter.req.id,
+                        telemetry::SpanKind::ChannelWait,
+                        waiter.channelWaitFrom, now, telemetryId_,
+                        static_cast<std::uint16_t>(waiter.arm));
+                    waiter.channelWaitFrom = sim::kTickNever;
+                }
                 const sim::Tick extra = armRotWait(
                     now, waiter.chs, waiter.arm);
                 waiter.rotTicks += extra;
                 waiter.phase = Phase::Rotating;
+                if (extra > 0)
+                    telemetry::emitSpan(
+                        waiter.req.id, telemetry::SpanKind::RotWait,
+                        now, now + extra, telemetryId_,
+                        static_cast<std::uint16_t>(waiter.arm));
                 sim_.schedule(now + extra,
                               [this, wid] { onRotationDone(wid); });
             }
@@ -521,11 +578,22 @@ DiskDrive::onTransferDone(std::uint64_t id)
         const std::uint64_t wid = channelWaiters_.front();
         channelWaiters_.erase(channelWaiters_.begin());
         Active &waiter = active_.at(wid);
+        if (waiter.channelWaitFrom != sim::kTickNever) {
+            telemetry::emitSpan(
+                waiter.req.id, telemetry::SpanKind::ChannelWait,
+                waiter.channelWaitFrom, now, telemetryId_,
+                static_cast<std::uint16_t>(waiter.arm));
+            waiter.channelWaitFrom = sim::kTickNever;
+        }
         const sim::Tick extra =
             armRotWait(now, waiter.chs, waiter.arm);
         waiter.rotTicks += extra;
         waiter.phase = Phase::Rotating;
         if (extra > 0) {
+            telemetry::emitSpan(
+                waiter.req.id, telemetry::SpanKind::RotWait, now,
+                now + extra, telemetryId_,
+                static_cast<std::uint16_t>(waiter.arm));
             sim_.schedule(now + extra,
                           [this, wid] { onRotationDone(wid); });
         } else {

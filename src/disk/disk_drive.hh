@@ -54,6 +54,7 @@
 #include "stats/histogram.hh"
 #include "stats/mode_tracker.hh"
 #include "stats/sampler.hh"
+#include "telemetry/telemetry.hh"
 #include "workload/request.hh"
 
 namespace idp {
@@ -180,6 +181,13 @@ class DiskDrive
     /** True while the spindle is stopped (spin-down power mgmt). */
     bool spunDown() const { return modes_.spunDown(); }
 
+    /**
+     * Physical disk index reported in telemetry spans (set by the
+     * owning StorageArray; standalone drives report 0).
+     */
+    void setTelemetryId(std::uint32_t id) { telemetryId_ = id; }
+    std::uint32_t telemetryId() const { return telemetryId_; }
+
   private:
     enum class Phase
     {
@@ -208,6 +216,8 @@ class DiskDrive
         sim::Tick xferTicks = 0;
         /** Zero-latency in-run hit: transfer takes one revolution. */
         sim::Tick xferOverride = 0;
+        /** When channel-blocked: block start time (for the span). */
+        sim::Tick channelWaitFrom = sim::kTickNever;
         std::uint32_t retries = 0; ///< media-error re-reads so far
         bool internal = false; ///< destage traffic, not reported
         /** Contiguous requests folded into this media access. */
@@ -243,6 +253,14 @@ class DiskDrive
     stats::ModeTracker modes_;
     DriveStats stats_;
     sim::Rng faultRng_{0x51D0};
+
+    std::uint32_t telemetryId_ = 0;
+    /** Registry handles (null when no registry is installed). */
+    telemetry::Counter *ctrMediaAccesses_ = nullptr;
+    telemetry::Counter *ctrCacheHits_ = nullptr;
+    telemetry::Counter *ctrChannelBlocks_ = nullptr;
+    telemetry::Counter *ctrZeroLatHits_ = nullptr;
+    telemetry::Counter *ctrSpinUps_ = nullptr;
 
     sim::Tick headSwitchTicks_;
     sim::Tick controllerTicks_;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace idp {
 namespace sched {
@@ -180,6 +182,40 @@ class SptfScheduler : public IoScheduler
     double agingWeight_;
 };
 
+/**
+ * Decorator that counts selections and the window/arm fan-in the
+ * policy was offered. Installed by the factory when a telemetry
+ * registry is active; pure pass-through otherwise.
+ */
+class CountingScheduler : public IoScheduler
+{
+  public:
+    explicit CountingScheduler(std::unique_ptr<IoScheduler> inner)
+        : inner_(std::move(inner)),
+          ctrSelections_(telemetry::counterHandle("sched.selections")),
+          ctrCandidates_(
+              telemetry::counterHandle("sched.candidates_seen"))
+    {
+    }
+
+    std::string name() const override { return inner_->name(); }
+
+    Choice
+    select(const std::vector<PendingView> &pending,
+           const std::vector<ArmView> &arms, const PositioningFn &cost,
+           sim::Tick now) override
+    {
+        telemetry::bump(ctrSelections_);
+        telemetry::bump(ctrCandidates_, pending.size() * arms.size());
+        return inner_->select(pending, arms, cost, now);
+    }
+
+  private:
+    std::unique_ptr<IoScheduler> inner_;
+    telemetry::Counter *ctrSelections_;
+    telemetry::Counter *ctrCandidates_;
+};
+
 } // namespace
 
 Policy
@@ -219,19 +255,29 @@ policyToString(Policy policy)
 std::unique_ptr<IoScheduler>
 makeScheduler(const SchedulerParams &params)
 {
+    std::unique_ptr<IoScheduler> sched;
     switch (params.policy) {
       case Policy::Fcfs:
-        return std::make_unique<FcfsScheduler>();
+        sched = std::make_unique<FcfsScheduler>();
+        break;
       case Policy::Sstf:
-        return std::make_unique<SstfScheduler>();
+        sched = std::make_unique<SstfScheduler>();
+        break;
       case Policy::Clook:
-        return std::make_unique<ClookScheduler>();
+        sched = std::make_unique<ClookScheduler>();
+        break;
       case Policy::Sptf:
-        return std::make_unique<SptfScheduler>(0.0);
+        sched = std::make_unique<SptfScheduler>(0.0);
+        break;
       case Policy::SptfAged:
-        return std::make_unique<SptfScheduler>(params.agingWeight);
+        sched = std::make_unique<SptfScheduler>(params.agingWeight);
+        break;
     }
-    sim::panic("makeScheduler: bad enum");
+    if (sched == nullptr)
+        sim::panic("makeScheduler: bad enum");
+    if (telemetry::activeRegistry() != nullptr)
+        return std::make_unique<CountingScheduler>(std::move(sched));
+    return sched;
 }
 
 } // namespace sched

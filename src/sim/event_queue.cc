@@ -18,7 +18,8 @@ Simulator::schedule(Tick when, EventAction action)
     entry->action = std::move(action);
     const EventId id = entry->id;
     heap_.push(std::move(entry));
-    ++pending_;
+    if (++pending_ > peakPending_)
+        peakPending_ = pending_;
     return id;
 }
 
@@ -33,8 +34,10 @@ Simulator::cancel(EventId id)
 {
     if (id == kInvalidEventId || id >= nextSeq_)
         return;
-    if (cancelled_.insert(id).second && pending_ > 0)
+    if (cancelled_.insert(id).second && pending_ > 0) {
         --pending_;
+        ++cancelledCount_;
+    }
 }
 
 bool

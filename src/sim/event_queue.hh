@@ -86,6 +86,12 @@ class Simulator
     /** Total number of events fired since construction. */
     std::uint64_t eventsFired() const { return fired_; }
 
+    /** High-water mark of pending events (calendar pressure). */
+    std::size_t peakPending() const { return peakPending_; }
+
+    /** Total events cancelled since construction. */
+    std::uint64_t eventsCancelled() const { return cancelledCount_; }
+
   private:
     struct Entry
     {
@@ -112,7 +118,9 @@ class Simulator
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t fired_ = 0;
+    std::uint64_t cancelledCount_ = 0;
     std::size_t pending_ = 0;
+    std::size_t peakPending_ = 0;
     std::priority_queue<std::unique_ptr<Entry>,
                         std::vector<std::unique_ptr<Entry>>,
                         EntryCompare> heap_;

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -7,6 +8,50 @@
 
 namespace idp {
 namespace sim {
+
+namespace {
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "log";
+}
+
+LogLevel
+thresholdFromEnv()
+{
+    const char *env = std::getenv("IDP_LOG");
+    if (!env || !*env)
+        return LogLevel::Warn;
+    const std::string name(env);
+    if (name == "error")
+        return LogLevel::Error;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "debug")
+        return LogLevel::Debug;
+    std::fprintf(stderr,
+                 "warn: IDP_LOG=%s not one of "
+                 "error|warn|info|debug; using warn\n",
+                 env);
+    return LogLevel::Warn;
+}
+
+std::atomic<int> g_threshold{-1}; // -1 = not yet initialized
+
+} // namespace
 
 void
 fatal(const std::string &msg)
@@ -22,10 +67,58 @@ panic(const std::string &msg)
     std::abort();
 }
 
+LogLevel
+logLevelFromString(const std::string &name)
+{
+    if (name == "error")
+        return LogLevel::Error;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "debug")
+        return LogLevel::Debug;
+    fatal("log level \"" + name +
+          "\" not one of error|warn|info|debug");
+}
+
+LogLevel
+logThreshold()
+{
+    int v = g_threshold.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = static_cast<int>(thresholdFromEnv());
+        g_threshold.store(v, std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(v);
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold.store(static_cast<int>(level),
+                      std::memory_order_relaxed);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <=
+        static_cast<int>(logThreshold());
+}
+
+void
+logAt(LogLevel level, const std::string &msg)
+{
+    if (!logEnabled(level))
+        return;
+    std::fprintf(stderr, "%s: %s\n", levelPrefix(level), msg.c_str());
+}
+
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    logAt(LogLevel::Warn, msg);
 }
 
 void

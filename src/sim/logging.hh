@@ -1,13 +1,20 @@
 /**
  * @file
- * Error-reporting helpers in the spirit of gem5's logging.hh.
+ * Error reporting and leveled logging, in the spirit of gem5's
+ * logging.hh.
  *
- * fatal()  — unrecoverable *user* error (bad configuration, impossible
- *            parameters); exits with status 1.
- * panic()  — unrecoverable *simulator* bug (broken invariant); aborts so a
- *            core dump / debugger can be used.
- * warn()   — suspicious but survivable condition; printed once per call
- *            site text when warnOnce() is used.
+ * Unrecoverable paths:
+ *   fatal()  — unrecoverable *user* error (bad configuration, impossible
+ *              parameters); exits with status 1.
+ *   panic()  — unrecoverable *simulator* bug (broken invariant); aborts so a
+ *              core dump / debugger can be used.
+ *
+ * Leveled front end (shared by telemetry and the module code):
+ *   IDP_LOG=error|warn|info|debug selects the threshold (default:
+ *   warn). logError/logWarn/logInfo check the threshold at runtime;
+ *   logDebug additionally compiles to nothing in Release builds
+ *   (NDEBUG), so debug-grade formatting can sit on hot paths for
+ *   free. warn()/warnOnce() remain as aliases for the Warn level.
  */
 
 #ifndef IDP_SIM_LOGGING_HH
@@ -24,7 +31,61 @@ namespace sim {
 /** Print "panic: <msg>" to stderr and abort(). */
 [[noreturn]] void panic(const std::string &msg);
 
-/** Print "warn: <msg>" to stderr. */
+/** Severity, ordered so higher values are chattier. */
+enum class LogLevel : int
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** Parse "error"/"warn"/"info"/"debug" (fatal on anything else). */
+LogLevel logLevelFromString(const std::string &name);
+
+/**
+ * Active threshold: first call reads IDP_LOG (default warn, unknown
+ * values warn once and fall back); later calls return the cached
+ * value unless overridden.
+ */
+LogLevel logThreshold();
+
+/** Override the threshold (tests, CLI flags). */
+void setLogThreshold(LogLevel level);
+
+/** True when messages at @p level are emitted. */
+bool logEnabled(LogLevel level);
+
+/** Print "<level>: <msg>" to stderr when @p level passes the gate. */
+void logAt(LogLevel level, const std::string &msg);
+
+inline void logError(const std::string &msg)
+{
+    logAt(LogLevel::Error, msg);
+}
+
+inline void logWarn(const std::string &msg)
+{
+    logAt(LogLevel::Warn, msg);
+}
+
+inline void logInfo(const std::string &msg)
+{
+    logAt(LogLevel::Info, msg);
+}
+
+#ifdef NDEBUG
+/** Compiled out in Release: the argument expression still evaluates,
+ *  so keep heavyweight formatting inside logEnabled() checks. */
+inline void logDebug(const std::string &) {}
+#else
+inline void logDebug(const std::string &msg)
+{
+    logAt(LogLevel::Debug, msg);
+}
+#endif
+
+/** Print "warn: <msg>" to stderr (gated at the Warn level). */
 void warn(const std::string &msg);
 
 /** Like warn(), but suppresses repeats of an identical message. */

@@ -1,0 +1,106 @@
+#include "telemetry/registry.hh"
+
+#include <algorithm>
+#include <ostream>
+
+namespace idp {
+namespace telemetry {
+
+namespace {
+
+thread_local Registry *t_current = nullptr;
+
+} // namespace
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    return gauges_[name];
+}
+
+stats::Histogram &
+Registry::histogram(const std::string &name,
+                    const std::vector<double> &upper_edges)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_
+                 .emplace(name, stats::Histogram(upper_edges))
+                 .first;
+    return it->second;
+}
+
+void
+Registry::setGauge(const std::string &name, double v)
+{
+    gauge(name).set(v);
+}
+
+std::size_t
+Registry::metricCount() const
+{
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::vector<MetricSample>
+Registry::snapshot() const
+{
+    std::vector<MetricSample> out;
+    out.reserve(counters_.size() + gauges_.size() +
+                histograms_.size() * 3);
+    for (const auto &[name, c] : counters_)
+        out.push_back({name, static_cast<double>(c.value)});
+    for (const auto &[name, g] : gauges_)
+        out.push_back({name, g.value});
+    for (const auto &[name, h] : histograms_) {
+        out.push_back(
+            {name + ".count", static_cast<double>(h.total())});
+        out.push_back({name + ".mean", h.mean()});
+        out.push_back({name + ".max", h.maxSeen()});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+Registry::writeCsv(std::ostream &os) const
+{
+    writeMetricsCsv(os, snapshot());
+}
+
+Registry *
+Registry::current()
+{
+    return t_current;
+}
+
+RegistryScope::RegistryScope(Registry *registry) : prev_(t_current)
+{
+    t_current = registry;
+}
+
+RegistryScope::~RegistryScope()
+{
+    t_current = prev_;
+}
+
+void
+writeMetricsCsv(std::ostream &os,
+                const std::vector<MetricSample> &metrics)
+{
+    os << "metric,value\n";
+    for (const auto &m : metrics)
+        os << m.name << ',' << m.value << '\n';
+}
+
+} // namespace telemetry
+} // namespace idp

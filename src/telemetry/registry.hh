@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Named metrics registry: counters, gauges, and histograms.
+ *
+ * Modules register metrics by name at construction (handles are
+ * stable for the registry's lifetime) and update them on the hot path
+ * with a plain increment. One Registry belongs to one simulation run;
+ * core::runTrace installs it for the duration of the run via
+ * RegistryScope and snapshots it into RunResult afterwards, so sweep
+ * points tracing on different threads never share a registry and the
+ * snapshot order (sorted by name) is deterministic.
+ *
+ * Access from module code goes through the hooks in
+ * telemetry/telemetry.hh, which compile to nothing when the
+ * subsystem is disabled at build time (IDP_TELEMETRY=0).
+ */
+
+#ifndef IDP_TELEMETRY_REGISTRY_HH
+#define IDP_TELEMETRY_REGISTRY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace idp {
+namespace telemetry {
+
+/** Monotonically increasing event count. */
+struct Counter
+{
+    std::uint64_t value = 0;
+
+    void inc(std::uint64_t by = 1) { value += by; }
+};
+
+/** Point-in-time measurement. */
+struct Gauge
+{
+    double value = 0.0;
+
+    void set(double v) { value = v; }
+};
+
+/** One flattened metric row of a snapshot. */
+struct MetricSample
+{
+    std::string name;
+    double value = 0.0;
+};
+
+class Registry
+{
+  public:
+    Registry() = default;
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Find-or-create; the returned reference stays valid. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Find-or-create a histogram with the given bucket upper edges;
+     * the edges of an existing histogram are left untouched.
+     */
+    stats::Histogram &histogram(const std::string &name,
+                                const std::vector<double> &upper_edges);
+
+    /** Convenience: gauge(name).set(v). */
+    void setGauge(const std::string &name, double v);
+
+    std::size_t metricCount() const;
+
+    /**
+     * Flatten every metric into (name, value) rows sorted by name.
+     * Histograms expand to <name>.count / <name>.mean / <name>.max.
+     */
+    std::vector<MetricSample> snapshot() const;
+
+    /** Write the snapshot as a two-column CSV ("metric,value"). */
+    void writeCsv(std::ostream &os) const;
+
+    /** The registry installed on this thread (null when none). */
+    static Registry *current();
+
+  private:
+    friend class RegistryScope;
+
+    // std::map keeps iteration deterministic and node addresses
+    // stable, so handles handed out by counter()/gauge() survive
+    // later registrations.
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, stats::Histogram> histograms_;
+};
+
+/** Installs a Registry as this thread's current one (RAII). */
+class RegistryScope
+{
+  public:
+    explicit RegistryScope(Registry *registry);
+    ~RegistryScope();
+
+    RegistryScope(const RegistryScope &) = delete;
+    RegistryScope &operator=(const RegistryScope &) = delete;
+
+  private:
+    Registry *prev_;
+};
+
+/** Write any snapshot as CSV (used by RunResult exports). */
+void writeMetricsCsv(std::ostream &os,
+                     const std::vector<MetricSample> &metrics);
+
+} // namespace telemetry
+} // namespace idp
+
+#endif // IDP_TELEMETRY_REGISTRY_HH

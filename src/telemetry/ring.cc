@@ -1,0 +1,38 @@
+#include "telemetry/ring.hh"
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace telemetry {
+
+SpanRing::SpanRing(std::size_t capacity)
+{
+    sim::simAssert(capacity >= 1, "SpanRing: capacity must be >= 1");
+    buf_.resize(capacity);
+}
+
+std::vector<Span>
+SpanRing::snapshot() const
+{
+    std::vector<Span> out;
+    out.reserve(size_);
+    if (size_ < buf_.size()) {
+        out.insert(out.end(), buf_.begin(), buf_.begin() + size_);
+        return out;
+    }
+    // Full ring: oldest entry is at head_ (the next overwrite target).
+    out.insert(out.end(), buf_.begin() + head_, buf_.end());
+    out.insert(out.end(), buf_.begin(), buf_.begin() + head_);
+    return out;
+}
+
+void
+SpanRing::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+}
+
+} // namespace telemetry
+} // namespace idp

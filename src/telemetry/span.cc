@@ -1,0 +1,39 @@
+#include "telemetry/span.hh"
+
+namespace idp {
+namespace telemetry {
+
+const char *
+spanKindName(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::HostQueue:
+        return "host_queue";
+      case SpanKind::CacheLookup:
+        return "cache_lookup";
+      case SpanKind::CacheHit:
+        return "cache_hit";
+      case SpanKind::ArmSelect:
+        return "arm_select";
+      case SpanKind::Seek:
+        return "seek";
+      case SpanKind::RotWait:
+        return "rot_wait";
+      case SpanKind::ChannelWait:
+        return "channel_wait";
+      case SpanKind::Transfer:
+        return "transfer";
+      case SpanKind::Bus:
+        return "bus";
+      case SpanKind::RaidSplit:
+        return "raid_split";
+      case SpanKind::RaidJoin:
+        return "raid_join";
+      case SpanKind::SpinUp:
+        return "spin_up";
+    }
+    return "unknown";
+}
+
+} // namespace telemetry
+} // namespace idp

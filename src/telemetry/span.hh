@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Span taxonomy for per-request phase tracing.
+ *
+ * A span is one timed phase of one request's life: where the time of
+ * Figure 4's bottleneck question actually went. Spans are emitted by
+ * instrumentation hooks in the disk, scheduler, cache, bus and array
+ * layers, carry the simulated begin/end ticks, and are cheap enough
+ * (32 bytes, no allocation) to record per media access.
+ *
+ * Identifier conventions: disk-level spans carry the *array join id*
+ * the drive saw (StorageArray rewrites sub-request ids); array-level
+ * spans (RaidSplit/RaidJoin) carry the original logical request id;
+ * drive-internal destage traffic uses id 0.
+ */
+
+#ifndef IDP_TELEMETRY_SPAN_HH
+#define IDP_TELEMETRY_SPAN_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace idp {
+namespace telemetry {
+
+/** Phase of a request's life that a span covers. */
+enum class SpanKind : std::uint8_t
+{
+    HostQueue,   ///< arrival at the drive -> dispatch to an arm
+    CacheLookup, ///< on-board cache probe (instant; arm = hit)
+    CacheHit,    ///< cache-hit service over the drive interface
+    ArmSelect,   ///< scheduler decision (instant; arm = chosen arm)
+    Seek,        ///< arm in motion
+    RotWait,     ///< waiting for the sector to rotate under a head
+    ChannelWait, ///< blocked on the drive's transfer channel budget
+    Transfer,    ///< media transfer (incl. head/track switches)
+    Bus,         ///< host-interconnect occupancy (incl. channel queue)
+    RaidSplit,   ///< array fan-out of a logical request (instant)
+    RaidJoin,    ///< logical arrival -> last sub-request completion
+    SpinUp,      ///< power-management spindle restart
+};
+
+/** Number of distinct SpanKind values. */
+constexpr std::size_t kSpanKindCount = 12;
+
+/** Stable lower-case name ("seek", "rot_wait", ...). */
+const char *spanKindName(SpanKind kind);
+
+/**
+ * True for the mechanical service components whose sum is the media
+ * service time (the quantities Figure 4 scales).
+ */
+constexpr bool
+isServiceComponent(SpanKind kind)
+{
+    return kind == SpanKind::Seek || kind == SpanKind::RotWait ||
+        kind == SpanKind::ChannelWait || kind == SpanKind::Transfer;
+}
+
+/** One recorded phase of one request. */
+struct Span
+{
+    std::uint64_t id = 0;   ///< request id (see file comment)
+    sim::Tick begin = 0;
+    sim::Tick end = 0;
+    SpanKind kind = SpanKind::HostQueue;
+    std::uint16_t arm = 0;  ///< arm index (or kind-specific detail)
+    std::uint32_t dev = 0;  ///< physical disk index within the array
+
+    sim::Tick ticks() const { return end - begin; }
+};
+
+} // namespace telemetry
+} // namespace idp
+
+#endif // IDP_TELEMETRY_SPAN_HH

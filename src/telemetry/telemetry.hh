@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Instrumentation hooks — the only telemetry header module code
+ * should include.
+ *
+ * Compile-time guard: building with IDP_TELEMETRY=0 (cmake
+ * -DIDP_TELEMETRY=OFF) turns activeTracer()/activeRegistry() into
+ * constexpr nullptr, so every emitSpan()/bump() call below folds to
+ * nothing — tracing is zero-cost, not merely cheap. With the guard on
+ * (the default) the cost of a disabled run is one thread-local load
+ * and branch per hook, bounded by bench/micro_simcore.
+ *
+ * Runtime control is per run: core::runTrace installs a Tracer and a
+ * Registry for the duration of a run when tracing is requested
+ * (IDP_TRACE=1 or a programmatic TraceOptions), and the hooks see
+ * them through the thread-local currents.
+ */
+
+#ifndef IDP_TELEMETRY_TELEMETRY_HH
+#define IDP_TELEMETRY_TELEMETRY_HH
+
+#include "telemetry/registry.hh"
+#include "telemetry/span.hh"
+#include "telemetry/tracer.hh"
+
+#ifndef IDP_TELEMETRY
+#define IDP_TELEMETRY 1
+#endif
+
+namespace idp {
+namespace telemetry {
+
+#if IDP_TELEMETRY
+constexpr bool kCompiledIn = true;
+
+inline Tracer *activeTracer() { return Tracer::current(); }
+inline Registry *activeRegistry() { return Registry::current(); }
+#else
+constexpr bool kCompiledIn = false;
+
+constexpr Tracer *activeTracer() { return nullptr; }
+constexpr Registry *activeRegistry() { return nullptr; }
+#endif
+
+/** Emit one span if a tracer is active. */
+inline void
+emitSpan(std::uint64_t id, SpanKind kind, sim::Tick begin,
+         sim::Tick end, std::uint32_t dev = 0, std::uint16_t arm = 0)
+{
+    if (Tracer *tracer = activeTracer()) {
+        Span span;
+        span.id = id;
+        span.kind = kind;
+        span.begin = begin;
+        span.end = end;
+        span.dev = dev;
+        span.arm = arm;
+        tracer->record(span);
+    }
+}
+
+/** Zero-duration marker span (scheduling decisions, fan-outs). */
+inline void
+emitInstant(std::uint64_t id, SpanKind kind, sim::Tick at,
+            std::uint32_t dev = 0, std::uint16_t arm = 0)
+{
+    emitSpan(id, kind, at, at, dev, arm);
+}
+
+/**
+ * Counter handle for module constructors: null when no registry is
+ * installed (then bump() is a no-op branch).
+ */
+inline Counter *
+counterHandle(const char *name)
+{
+    if (Registry *registry = activeRegistry())
+        return &registry->counter(name);
+    return nullptr;
+}
+
+/** Increment through a possibly-null handle. */
+inline void
+bump(Counter *counter, std::uint64_t by = 1)
+{
+    if (counter)
+        counter->value += by;
+}
+
+} // namespace telemetry
+} // namespace idp
+
+#endif // IDP_TELEMETRY_TELEMETRY_HH

@@ -1,0 +1,167 @@
+#include "telemetry/trace_export.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace telemetry {
+
+namespace {
+
+/** Arm indices folded into one track beyond this many arms. */
+constexpr std::uint32_t kMaxArmTracks = 16;
+/** Track ids reserved per disk (queue track + arm tracks). */
+constexpr std::uint32_t kTracksPerDisk = kMaxArmTracks + 2;
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += ' ';
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::uint32_t
+tidFor(const Span &span)
+{
+    switch (span.kind) {
+      case SpanKind::RaidSplit:
+      case SpanKind::RaidJoin:
+      case SpanKind::Bus:
+        return 0;
+      case SpanKind::Seek:
+      case SpanKind::RotWait:
+      case SpanKind::ChannelWait:
+      case SpanKind::Transfer:
+        return 2 + span.dev * kTracksPerDisk +
+            std::min<std::uint32_t>(span.arm, kMaxArmTracks - 1);
+      default:
+        return 1 + span.dev * kTracksPerDisk;
+    }
+}
+
+std::string
+tidName(std::uint32_t tid)
+{
+    if (tid == 0)
+        return "host/array";
+    const std::uint32_t disk = (tid - 1) / kTracksPerDisk;
+    const std::uint32_t slot = (tid - 1) % kTracksPerDisk;
+    if (slot == 0)
+        return "disk" + std::to_string(disk) + " queue";
+    return "disk" + std::to_string(disk) + " arm" +
+        std::to_string(slot - 1);
+}
+
+void
+writeTs(std::ostream &os, sim::Tick ticks)
+{
+    // Ticks are integer nanoseconds; emit exact microseconds.
+    os << ticks / 1000 << '.' << static_cast<char>('0' + ticks % 1000 / 100)
+       << static_cast<char>('0' + ticks % 100 / 10)
+       << static_cast<char>('0' + ticks % 10);
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceBatch> &batches)
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        os << "\n";
+        first = false;
+    };
+
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        const TraceBatch &batch = batches[b];
+        const std::uint32_t pid = static_cast<std::uint32_t>(b + 1);
+
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << pid
+           << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+           << jsonEscape(batch.name);
+        if (batch.dropped)
+            os << " (" << batch.dropped << " spans dropped)";
+        os << "\"}}";
+
+        std::map<std::uint32_t, bool> tids;
+        for (const Span &span : batch.spans)
+            tids[tidFor(span)] = true;
+        for (const auto &[tid, unused] : tids) {
+            (void)unused;
+            sep();
+            os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":"
+               << tid
+               << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+               << tidName(tid) << "\"}}";
+        }
+
+        for (const Span &span : batch.spans) {
+            sep();
+            os << "{\"pid\":" << pid << ",\"tid\":" << tidFor(span)
+               << ",\"name\":\"" << spanKindName(span.kind)
+               << "\",\"ts\":";
+            writeTs(os, span.begin);
+            if (span.begin == span.end) {
+                os << ",\"ph\":\"i\",\"s\":\"t\"";
+            } else {
+                os << ",\"ph\":\"X\",\"dur\":";
+                writeTs(os, span.end - span.begin);
+            }
+            os << ",\"args\":{\"req\":" << span.id << ",\"disk\":"
+               << span.dev << ",\"arm\":" << span.arm << "}}";
+        }
+    }
+    os << "\n]}\n";
+}
+
+bool
+writeChromeTraceFile(const std::string &path,
+                     const std::vector<TraceBatch> &batches)
+{
+    std::ofstream os(path);
+    if (!os) {
+        sim::warn("trace export: cannot open " + path);
+        return false;
+    }
+    writeChromeTrace(os, batches);
+    os.flush();
+    if (!os) {
+        sim::warn("trace export: write to " + path + " failed");
+        return false;
+    }
+    return true;
+}
+
+} // namespace telemetry
+} // namespace idp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Chrome-trace-event JSON export (Perfetto / chrome://tracing).
+ *
+ * Each run becomes one "process" in the trace viewer; inside it, a
+ * host/array track, one queue track per disk, and one track per
+ * (disk, arm) pair carry the spans, so the viewer shows exactly the
+ * paper's decomposition: queueing above, seek / rotational wait /
+ * transfer per arm below. Timestamps are microseconds of simulated
+ * time. The output is the JSON object form
+ * {"traceEvents": [...], ...}, which both Perfetto and
+ * chrome://tracing load directly.
+ */
+
+#ifndef IDP_TELEMETRY_TRACE_EXPORT_HH
+#define IDP_TELEMETRY_TRACE_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/tracer.hh"
+
+namespace idp {
+namespace telemetry {
+
+/** One run's worth of spans, shown as one process in the viewer. */
+struct TraceBatch
+{
+    std::string name;        ///< run/system name
+    std::vector<Span> spans; ///< oldest first
+    std::uint64_t dropped = 0;
+};
+
+/** Write all batches as one Chrome trace-event JSON document. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceBatch> &batches);
+
+/** As above, to @p path. Returns false (and warns) on I/O failure. */
+bool writeChromeTraceFile(const std::string &path,
+                          const std::vector<TraceBatch> &batches);
+
+} // namespace telemetry
+} // namespace idp
+
+#endif // IDP_TELEMETRY_TRACE_EXPORT_HH

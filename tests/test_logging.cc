@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Leveled-logging tests: threshold parsing, gating, and the
+ * level-override hook the CLI tools use.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace idp;
+
+TEST(Logging, LevelParsing)
+{
+    EXPECT_EQ(sim::logLevelFromString("error"), sim::LogLevel::Error);
+    EXPECT_EQ(sim::logLevelFromString("warn"), sim::LogLevel::Warn);
+    EXPECT_EQ(sim::logLevelFromString("info"), sim::LogLevel::Info);
+    EXPECT_EQ(sim::logLevelFromString("debug"), sim::LogLevel::Debug);
+}
+
+TEST(Logging, ThresholdGatesLevels)
+{
+    const sim::LogLevel saved = sim::logThreshold();
+
+    sim::setLogThreshold(sim::LogLevel::Error);
+    EXPECT_TRUE(sim::logEnabled(sim::LogLevel::Error));
+    EXPECT_FALSE(sim::logEnabled(sim::LogLevel::Warn));
+    EXPECT_FALSE(sim::logEnabled(sim::LogLevel::Info));
+    EXPECT_FALSE(sim::logEnabled(sim::LogLevel::Debug));
+
+    sim::setLogThreshold(sim::LogLevel::Info);
+    EXPECT_TRUE(sim::logEnabled(sim::LogLevel::Warn));
+    EXPECT_TRUE(sim::logEnabled(sim::LogLevel::Info));
+    EXPECT_FALSE(sim::logEnabled(sim::LogLevel::Debug));
+
+    sim::setLogThreshold(sim::LogLevel::Debug);
+    EXPECT_TRUE(sim::logEnabled(sim::LogLevel::Debug));
+
+    sim::setLogThreshold(saved);
+}
+
+TEST(Logging, OverrideSticksAndRoundTrips)
+{
+    const sim::LogLevel saved = sim::logThreshold();
+    sim::setLogThreshold(sim::LogLevel::Info);
+    EXPECT_EQ(sim::logThreshold(), sim::LogLevel::Info);
+    sim::setLogThreshold(saved);
+    EXPECT_EQ(sim::logThreshold(), saved);
+}
+
+TEST(Logging, SuppressedLevelsDoNotCrash)
+{
+    const sim::LogLevel saved = sim::logThreshold();
+    sim::setLogThreshold(sim::LogLevel::Error);
+    // None of these may abort or print below the gate.
+    sim::logWarn("suppressed warn");
+    sim::logInfo("suppressed info");
+    sim::logDebug("suppressed debug");
+    sim::setLogThreshold(saved);
+    SUCCEED();
+}
+
+} // namespace

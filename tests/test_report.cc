@@ -146,7 +146,84 @@ TEST(Report, EmptyResultListSafe)
     core::printRotPdf(os, "t", {});
     core::printPowerBreakdown(os, "t", {});
     core::printSummary(os, "t", {});
+    core::printAttribution(os, "t", {});
     SUCCEED();
+}
+
+TEST(Report, AttributionSkipsUntracedResults)
+{
+    // A default RunResult has no trace; the table must render anyway
+    // and say why it is empty.
+    core::RunResult untraced;
+    untraced.system = "plain";
+    std::ostringstream os;
+    core::printAttribution(os, "t", {untraced});
+    EXPECT_NE(os.str().find("untraced"), std::string::npos);
+}
+
+TEST(Report, SingleSampleHistogramRendersAndSumsToOne)
+{
+    core::RunResult r;
+    r.system = "one";
+    r.responseHist.add(7.0);
+    r.rotHist.add(3.2);
+    double sum = 0.0;
+    for (std::size_t b = 0; b < r.rotHist.buckets(); ++b)
+        sum += r.rotHist.pdfAt(b);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_NEAR(
+        r.responseHist.cdfAt(r.responseHist.buckets() - 1), 1.0, 1e-9);
+
+    std::ostringstream os;
+    core::printResponseCdf(os, "t", {r});
+    core::printRotPdf(os, "t", {r});
+    EXPECT_NE(os.str().find("one"), std::string::npos);
+}
+
+TEST(Report, SingleSampleQuantilesCollapseToTheSample)
+{
+    stats::SampleSet set;
+    set.add(42.0);
+    EXPECT_DOUBLE_EQ(set.p90(), 42.0);
+    EXPECT_DOUBLE_EQ(set.p99(), 42.0);
+    EXPECT_DOUBLE_EQ(set.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(set.quantile(1.0), 42.0);
+}
+
+TEST(Report, QuantilesOnSparseCdfBuckets)
+{
+    // All mass in two distant buckets: p90/p99 must come from the
+    // upper one, and the histogram quantile must stay inside its
+    // containing bucket rather than interpolating across empty ones.
+    stats::Histogram hist = stats::makeResponseHistogram();
+    hist.add(1.0, 90);   // bucket <=5
+    hist.add(130.0, 10); // bucket <=150
+    const double q95 = hist.quantile(0.95);
+    EXPECT_GT(q95, 120.0);
+    EXPECT_LE(q95, 150.0);
+    const double q50 = hist.quantile(0.50);
+    EXPECT_LE(q50, 5.0);
+
+    stats::SampleSet set;
+    for (int i = 0; i < 90; ++i)
+        set.add(1.0);
+    for (int i = 0; i < 10; ++i)
+        set.add(130.0);
+    EXPECT_DOUBLE_EQ(set.p99(), 130.0);
+    EXPECT_DOUBLE_EQ(set.quantile(0.5), 1.0);
+}
+
+TEST(Csv, EmptyResultListWritesHeadersOnly)
+{
+    std::ostringstream cdf, rot, sum, metrics;
+    core::writeCdfCsv(cdf, {});
+    core::writeRotPdfCsv(rot, {});
+    core::writeSummaryCsv(sum, {});
+    core::writeMetricsCsv(metrics, {});
+    EXPECT_EQ(cdf.str(), "edge_ms\n");
+    EXPECT_EQ(rot.str(), "edge_ms\n");
+    EXPECT_EQ(sum.str().find('\n'), sum.str().size() - 1);
+    EXPECT_EQ(metrics.str(), "system,metric,value\n");
 }
 
 } // namespace

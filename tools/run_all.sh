@@ -1,13 +1,28 @@
 #!/bin/sh
 # Build, test, and regenerate every table/figure into results/.
-# Usage: tools/run_all.sh [IDP_REQUESTS] [IDP_THREADS]
+# Usage: tools/run_all.sh [--filter REGEX] [IDP_REQUESTS] [IDP_THREADS]
 #
-# IDP_THREADS (2nd arg or inherited env) is passed through to every
-# bench binary: it sets the sweep engine's worker count (default: all
-# hardware threads; 1 = the exact serial path). Results are
-# bit-identical at any thread count.
+#   --filter REGEX   run only the bench binaries whose name matches
+#                    REGEX (grep -E syntax), e.g. --filter 'fig4'.
+#
+# IDP_THREADS (2nd positional or inherited env) is passed through to
+# every bench binary: it sets the sweep engine's worker count
+# (default: all hardware threads; 1 = the exact serial path). Results
+# are bit-identical at any thread count. IDP_TRACE / IDP_TRACE_SAMPLE
+# / IDP_LOG are likewise inherited by the benches, so
+# `IDP_TRACE=1 tools/run_all.sh --filter fig4` produces traced runs.
 set -e
 cd "$(dirname "$0")/.."
+
+FILTER=''
+if [ "$1" = "--filter" ]; then
+    if [ -z "$2" ]; then
+        echo "run_all.sh: --filter needs a regex" >&2
+        exit 2
+    fi
+    FILTER="$2"
+    shift 2
+fi
 
 # Prefer Ninja when available, fall back to the default generator
 # (the tier-1 verify line uses plain Make; both must work).
@@ -19,7 +34,10 @@ if [ ! -f build/CMakeCache.txt ]; then
     fi
 fi
 cmake --build build -j "$(nproc 2>/dev/null || echo 2)"
-ctest --test-dir build --output-on-failure
+# Tracing and log-level overrides must not leak into the test suite:
+# the golden-determinism tests pin their own environment.
+env -u IDP_TRACE -u IDP_TRACE_SAMPLE -u IDP_LOG \
+    ctest --test-dir build --output-on-failure
 
 # Scale/thread overrides apply to the bench runs only — exporting them
 # before ctest would perturb env-sensitive tests (e.g. BenchScale).
@@ -27,9 +45,18 @@ ctest --test-dir build --output-on-failure
 [ -n "$2" ] && export IDP_THREADS="$2"
 
 mkdir -p results
+ran=0
 for b in build/bench/*; do
     name=$(basename "$b")
-    echo "== $name (IDP_THREADS=${IDP_THREADS:-auto}) =="
+    if [ -n "$FILTER" ] && ! echo "$name" | grep -Eq "$FILTER"; then
+        continue
+    fi
+    ran=$((ran + 1))
+    echo "== $name (IDP_THREADS=${IDP_THREADS:-auto} IDP_TRACE=${IDP_TRACE:-0}) =="
     "$b" | tee "results/$name.txt"
 done
+if [ "$ran" -eq 0 ]; then
+    echo "run_all.sh: no bench matched --filter '$FILTER'" >&2
+    exit 1
+fi
 echo "All outputs written to results/."
