@@ -5,6 +5,7 @@
 
 #include "sim/logging.hh"
 #include "telemetry/telemetry.hh"
+#include "verify/verify.hh"
 
 namespace idp {
 namespace array {
@@ -140,6 +141,7 @@ StorageArray::submitSub(std::uint32_t disk_idx, workload::IoRequest sub,
         sub.lba = sub.lba % (diskSectors_ - sub.sectors);
     }
     telemetry::bump(ctrSubs_);
+    verify::onArraySub(join_id);
     if (bus_ && !sub.isRead) {
         // Writes move their data over the interconnect first.
         bus_->transfer(sub.bytes(), join_id, [this, disk_idx, sub] {
@@ -161,6 +163,7 @@ StorageArray::submit(const workload::IoRequest &req)
                            sim_.now(),
                            static_cast<std::uint32_t>(nextJoinId_));
     const std::uint64_t join_id = nextJoinId_++;
+    verify::onArraySplit(join_id, req.arrival, sim_.now());
     Join join;
     join.logical = req;
     join.remaining = 0;
@@ -393,6 +396,7 @@ StorageArray::finishSub(std::uint64_t join_id, sim::Tick done)
     sim::simAssert(it != joins_.end(), "array: completion for no join");
     Join &join = it->second;
     sim::simAssert(join.remaining > 0, "array: join underflow");
+    verify::onArraySubFinish(join_id, done);
     --join.remaining;
     if (join.remaining > 0)
         return;
@@ -409,6 +413,7 @@ StorageArray::finishSub(std::uint64_t join_id, sim::Tick done)
     const workload::IoRequest logical = join.logical;
     joins_.erase(it);
     ++stats_.logicalCompletions;
+    verify::onArrayJoin(join_id, logical.arrival, done);
     telemetry::emitSpan(logical.id, telemetry::SpanKind::RaidJoin,
                         logical.arrival, done,
                         static_cast<std::uint32_t>(join_id));

@@ -5,6 +5,7 @@
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "stats/sampler.hh"
+#include "verify/verify.hh"
 
 namespace idp {
 namespace core {
@@ -22,6 +23,17 @@ runClosedLoop(const SystemConfig &config,
     sim::simAssert(params.workers >= 1, "closed loop: needs workers");
     sim::simAssert(params.horizonSeconds > 0.0,
                    "closed loop: needs a horizon");
+
+    // Same invariant-checking policy as runTrace: install unless the
+    // environment disables it or the caller already installed one.
+    std::unique_ptr<verify::InvariantChecker> checker;
+    std::unique_ptr<verify::VerifyScope> verify_scope;
+    if (verify::enabledFromEnv() &&
+        verify::activeChecker() == nullptr) {
+        checker = std::make_unique<verify::InvariantChecker>();
+        verify_scope =
+            std::make_unique<verify::VerifyScope>(checker.get());
+    }
 
     sim::Simulator simul;
     sim::Rng rng(params.seed);
@@ -59,11 +71,15 @@ runClosedLoop(const SystemConfig &config,
         req.id = (static_cast<std::uint64_t>(w) << 32) |
             next_seq[w]++;
         req.arrival = simul.now();
-        req.lba = rng.uniformInt(space - params.maxSectors);
+        req.isRead = rng.chance(params.readFraction);
         req.sectors = static_cast<std::uint32_t>(rng.uniformInt(
             static_cast<std::int64_t>(params.minSectors),
             static_cast<std::int64_t>(params.maxSectors)));
-        req.isRead = rng.chance(params.readFraction);
+        // Per-request limit, matching the synthetic generator: every
+        // LBA with lba + sectors <= space is drawable, so short
+        // requests can reach the end of the address space instead of
+        // leaving a maxSectors-sized dead zone.
+        req.lba = rng.uniformInt(space - req.sectors + 1);
         arr.submit(req);
     };
 
@@ -74,6 +90,9 @@ runClosedLoop(const SystemConfig &config,
         simul.schedule(start, [&issue, w] { issue(w); });
     }
     simul.run();
+    if (checker)
+        checker->finalize();
+    responses.seal();
 
     ClosedLoopResult result;
     result.completions = completions;

@@ -6,6 +6,7 @@
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "telemetry/telemetry.hh"
+#include "verify/verify.hh"
 
 namespace idp {
 namespace core {
@@ -103,6 +104,18 @@ runTrace(const workload::Trace &trace, const SystemConfig &config,
             std::make_unique<telemetry::TraceScope>(tracer.get());
     }
 
+    // Runtime invariant checking rides along unless IDP_VERIFY=0 (or
+    // the build compiled it out). A checker already installed by the
+    // caller — tests observing this run — takes precedence.
+    std::unique_ptr<verify::InvariantChecker> checker;
+    std::unique_ptr<verify::VerifyScope> verify_scope;
+    if (verify::enabledFromEnv() &&
+        verify::activeChecker() == nullptr) {
+        checker = std::make_unique<verify::InvariantChecker>();
+        verify_scope =
+            std::make_unique<verify::VerifyScope>(checker.get());
+    }
+
     sim::Simulator simul;
     array::StorageArray arr(simul, config.array);
 
@@ -122,6 +135,9 @@ runTrace(const workload::Trace &trace, const SystemConfig &config,
     sim::simAssert(arr.idle(), "runTrace: array not drained");
     sim::simAssert(arr.stats().logicalCompletions == trace.size(),
                    "runTrace: lost requests");
+    if (checker)
+        checker->finalize();
+    arr.sealStats();
 
     RunResult result;
     result.system = config.name;

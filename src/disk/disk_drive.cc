@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "verify/verify.hh"
 
 namespace idp {
 namespace disk {
@@ -176,6 +177,8 @@ DiskDrive::submit(const workload::IoRequest &req)
     sim::simAssert(req.sectors > 0, "disk: empty request");
     sim::simAssert(req.lba + req.sectors <= geometry_.totalSectors(),
                    "disk: request beyond device capacity");
+    verify::onDiskSubmit(telemetryId_, req.id, req.arrival,
+                         sim_.now());
 
     if (req.isRead) {
         const bool hit = cache_.readLookup(req.lba, req.sectors);
@@ -196,6 +199,8 @@ DiskDrive::submit(const workload::IoRequest &req)
                     sim::ticksToMs(done - copy.arrival);
                 stats_.responseMs.add(ms);
                 stats_.responseHist.add(ms);
+                verify::onDiskComplete(telemetryId_, copy.id, done,
+                                       controllerTicks_);
                 if (onComplete_)
                     onComplete_(copy, done, info);
             });
@@ -217,6 +222,8 @@ DiskDrive::submit(const workload::IoRequest &req)
                     sim::ticksToMs(done - copy.arrival);
                 stats_.responseMs.add(ms);
                 stats_.responseHist.add(ms);
+                verify::onDiskComplete(telemetryId_, copy.id, done,
+                                       controllerTicks_);
                 if (onComplete_)
                     onComplete_(copy, done, info);
             });
@@ -405,6 +412,23 @@ DiskDrive::startService(Active active)
     } else {
         startRotation(id);
     }
+    verifyOccupancy();
+}
+
+void
+DiskDrive::verifyOccupancy() const
+{
+    if (verify::activeChecker() == nullptr)
+        return;
+    std::uint32_t busy_arms = 0;
+    for (const auto &arm : arms_)
+        if (arm.busy)
+            ++busy_arms;
+    verify::onDiskOccupancy(
+        telemetryId_, active_.size(), busy_arms,
+        static_cast<std::uint32_t>(arms_.size()), activeSeeks_,
+        spec_.maxConcurrentSeeks, activeTransfers_,
+        spec_.maxConcurrentTransfers);
 }
 
 void
@@ -610,6 +634,7 @@ DiskDrive::completeActive(std::uint64_t id)
     active_.erase(id);
     modes_.requestEnd(now);
     arms_[active.arm].busy = false;
+    verifyOccupancy();
 
     if (active.req.isRead)
         cache_.installRead(active.req.lba, totalSectors(active));
@@ -641,6 +666,8 @@ DiskDrive::completeActive(std::uint64_t id)
             const double rot_ms = sim::ticksToMs(active.rotTicks);
             stats_.rotMs.add(rot_ms);
             stats_.rotHist.add(rot_ms);
+            verify::onDiskComplete(telemetryId_, req.id, now,
+                                   controllerTicks_);
             if (onComplete_)
                 onComplete_(req, now, info);
         };

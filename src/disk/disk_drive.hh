@@ -280,6 +280,9 @@ class DiskDrive
     void armIdleTimer();
     void onIdleTimeout();
     void beginSpinUpIfNeeded();
+    /** Feed the arm/seek/channel occupancy to the invariant checker
+     *  (no-op when none is installed). */
+    void verifyOccupancy() const;
 
     sim::Tick scaledSeek(std::uint32_t from, std::uint32_t to,
                          bool is_write) const;

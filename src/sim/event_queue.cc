@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "verify/verify.hh"
 
 namespace idp {
 namespace sim {
@@ -56,6 +57,7 @@ Simulator::step()
         }
         simAssert(entry->when >= now_,
                   "Simulator::step: time went backwards");
+        verify::onEventFire(now_, entry->when);
         now_ = entry->when;
         --pending_;
         ++fired_;

@@ -8,8 +8,8 @@
 namespace idp {
 namespace stats {
 
-SampleSet::SampleSet(std::size_t capacity)
-    : capacity_(capacity), rng_(0xC0FFEE123456789ULL)
+SampleSet::SampleSet(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed)
 {
     sim::simAssert(capacity_ > 0, "SampleSet: capacity must be > 0");
 }
@@ -40,11 +40,35 @@ SampleSet::add(double x)
     }
 }
 
+void
+SampleSet::seal()
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
 double
 SampleSet::mean() const
 {
     return count_ ? sum_ / static_cast<double>(count_) : 0.0;
 }
+
+namespace {
+
+/** Linear-interpolated order statistic of a sorted vector. */
+double
+sortedQuantile(const std::vector<double> &sorted, double q)
+{
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
 
 double
 SampleSet::quantile(double q) const
@@ -52,16 +76,15 @@ SampleSet::quantile(double q) const
     sim::simAssert(q >= 0.0 && q <= 1.0, "SampleSet::quantile: bad q");
     if (samples_.empty())
         return 0.0;
-    if (!sorted_) {
-        auto &mut = const_cast<std::vector<double> &>(samples_);
-        std::sort(mut.begin(), mut.end());
-        sorted_ = true;
-    }
-    const double pos = q * static_cast<double>(samples_.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(pos);
-    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
-    const double frac = pos - static_cast<double>(lo);
-    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    // A const read must not mutate: concurrent snapshot readers (the
+    // sweep UI, telemetry exporters) may call this while other threads
+    // read too. Sealed sets answer in place; unsealed ones pay for a
+    // local sorted copy instead of sorting shared state.
+    if (sorted_)
+        return sortedQuantile(samples_, q);
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    return sortedQuantile(sorted, q);
 }
 
 double

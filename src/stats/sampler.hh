@@ -19,15 +19,33 @@
 namespace idp {
 namespace stats {
 
-/** Collects scalar samples; computes exact order statistics on demand. */
+/**
+ * Collects scalar samples; computes exact order statistics on demand.
+ *
+ * Thread model: add() and seal() mutate and need external
+ * serialization, as usual; every const accessor (including
+ * quantile()) is safe to call from concurrent readers. quantile() on
+ * an unsealed set sorts a local copy rather than the shared buffer —
+ * call seal() once ingestion is done to sort in place and make
+ * subsequent quantile() calls copy-free.
+ */
 class SampleSet
 {
   public:
-    /** @param capacity maximum retained samples before reservoir mode. */
-    explicit SampleSet(std::size_t capacity = 1u << 20);
+    /**
+     * @param capacity maximum retained samples before reservoir mode.
+     * @param seed reservoir RNG stream; the default keeps historical
+     *        sampling behaviour, tests vary it to exercise algorithm
+     *        R's uniformity across streams.
+     */
+    explicit SampleSet(std::size_t capacity = 1u << 20,
+                       std::uint64_t seed = 0xC0FFEE123456789ULL);
 
     /** Record one sample. */
     void add(double x);
+
+    /** Sort the retained samples in place (after ingestion ends). */
+    void seal();
 
     /** Number of samples *offered* (not necessarily retained). */
     std::uint64_t count() const { return count_; }

@@ -1,0 +1,296 @@
+#include "verify/verify.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace verify {
+
+namespace {
+thread_local InvariantChecker *t_current = nullptr;
+} // namespace
+
+bool
+enabledFromEnv()
+{
+#if !IDP_VERIFY
+    return false;
+#else
+    const char *env = std::getenv("IDP_VERIFY");
+    if (env == nullptr)
+        return true;
+    return !(std::strcmp(env, "0") == 0 ||
+             std::strcmp(env, "off") == 0 ||
+             std::strcmp(env, "false") == 0);
+#endif
+}
+
+InvariantChecker::InvariantChecker(FailMode mode) : mode_(mode) {}
+
+InvariantChecker *
+InvariantChecker::current()
+{
+    return t_current;
+}
+
+void
+InvariantChecker::fail(const std::string &what)
+{
+    if (mode_ == FailMode::Panic)
+        sim::panic("invariant violated: " + what);
+    violations_.push_back(what);
+}
+
+InvariantChecker::DiskState &
+InvariantChecker::disk(std::uint32_t dev)
+{
+    return disks_[dev];
+}
+
+void
+InvariantChecker::touch(std::uint32_t dev, sim::Tick now)
+{
+    DiskState &d = disk(dev);
+    if (now < d.lastSeen) {
+        std::ostringstream os;
+        os << "disk " << dev << ": time ran backwards (" << d.lastSeen
+           << " -> " << now << ")";
+        fail(os.str());
+    }
+    d.lastSeen = now;
+}
+
+void
+InvariantChecker::checkKernelTime(sim::Tick now, sim::Tick when)
+{
+    ++observations_;
+    if (when < now) {
+        std::ostringstream os;
+        os << "event kernel: firing at " << when
+           << " with the clock already at " << now;
+        fail(os.str());
+    }
+    if (when < kernelNow_) {
+        std::ostringstream os;
+        os << "event kernel: time ran backwards (" << kernelNow_
+           << " -> " << when << ")";
+        fail(os.str());
+    }
+    kernelNow_ = when;
+}
+
+void
+InvariantChecker::diskSubmit(std::uint32_t dev, std::uint64_t id,
+                             sim::Tick arrival, sim::Tick now)
+{
+    ++observations_;
+    touch(dev, now);
+    if (arrival > now) {
+        std::ostringstream os;
+        os << "disk " << dev << ": request " << id
+           << " submitted before its arrival (" << arrival << " > "
+           << now << ")";
+        fail(os.str());
+    }
+    DiskState &d = disk(dev);
+    ++d.submits;
+    ++d.outstanding[id];
+    // Completion must be causal vs. the latest submission of this id
+    // (a join id can be legitimately re-submitted by RAID-5 RMW).
+    d.earliestDone[id] = now;
+}
+
+void
+InvariantChecker::diskComplete(std::uint32_t dev, std::uint64_t id,
+                               sim::Tick done, sim::Tick min_service)
+{
+    ++observations_;
+    touch(dev, done);
+    DiskState &d = disk(dev);
+    auto it = d.outstanding.find(id);
+    if (it == d.outstanding.end() || it->second == 0) {
+        std::ostringstream os;
+        os << "disk " << dev << ": request " << id
+           << " completed more times than it was submitted";
+        fail(os.str());
+        return;
+    }
+    ++d.completions;
+    if (--it->second == 0)
+        d.outstanding.erase(it);
+    auto sub = d.earliestDone.find(id);
+    if (sub != d.earliestDone.end()) {
+        if (done < sub->second + min_service) {
+            std::ostringstream os;
+            os << "disk " << dev << ": request " << id
+               << " completed at " << done
+               << ", before submit + minimum service ("
+               << sub->second + min_service << ")";
+            fail(os.str());
+        }
+        if (d.outstanding.find(id) == d.outstanding.end())
+            d.earliestDone.erase(sub);
+    }
+}
+
+void
+InvariantChecker::checkDiskOccupancy(
+    std::uint32_t dev, std::size_t in_flight, std::uint32_t busy_arms,
+    std::uint32_t total_arms, std::uint32_t active_seeks,
+    std::uint32_t max_seeks, std::uint32_t active_transfers,
+    std::uint32_t max_transfers)
+{
+    ++observations_;
+    std::ostringstream os;
+    if (in_flight != busy_arms) {
+        os << "disk " << dev << ": " << in_flight
+           << " in-flight requests but " << busy_arms
+           << " busy arms (each access must hold exactly one arm)";
+        fail(os.str());
+    } else if (busy_arms > total_arms) {
+        os << "disk " << dev << ": " << busy_arms
+           << " busy arms exceed the " << total_arms << " configured";
+        fail(os.str());
+    } else if (active_seeks > max_seeks) {
+        os << "disk " << dev << ": " << active_seeks
+           << " concurrent seeks exceed the motion budget "
+           << max_seeks;
+        fail(os.str());
+    } else if (active_transfers > max_transfers) {
+        os << "disk " << dev << ": " << active_transfers
+           << " concurrent transfers exceed the channel budget "
+           << max_transfers;
+        fail(os.str());
+    }
+}
+
+void
+InvariantChecker::arraySplit(std::uint64_t join_id, sim::Tick arrival,
+                             sim::Tick now)
+{
+    ++observations_;
+    if (arrival > now) {
+        std::ostringstream os;
+        os << "array: join " << join_id
+           << " split before its arrival (" << arrival << " > " << now
+           << ")";
+        fail(os.str());
+    }
+    auto [it, inserted] = joins_.emplace(join_id, JoinState{});
+    if (!inserted) {
+        std::ostringstream os;
+        os << "array: join id " << join_id << " reused";
+        fail(os.str());
+        return;
+    }
+    it->second.arrival = arrival;
+    ++joinsCreated_;
+}
+
+void
+InvariantChecker::arraySub(std::uint64_t join_id)
+{
+    ++observations_;
+    auto it = joins_.find(join_id);
+    if (it == joins_.end() || it->second.joined) {
+        std::ostringstream os;
+        os << "array: sub-request issued for "
+           << (it == joins_.end() ? "unknown" : "already-joined")
+           << " join " << join_id;
+        fail(os.str());
+        return;
+    }
+    ++it->second.outstanding;
+}
+
+void
+InvariantChecker::arraySubFinish(std::uint64_t join_id, sim::Tick done)
+{
+    ++observations_;
+    (void)done;
+    auto it = joins_.find(join_id);
+    if (it == joins_.end() || it->second.outstanding == 0) {
+        std::ostringstream os;
+        os << "array: sub-completion for join " << join_id
+           << " with no outstanding sub-requests";
+        fail(os.str());
+        return;
+    }
+    --it->second.outstanding;
+}
+
+void
+InvariantChecker::arrayJoin(std::uint64_t join_id, sim::Tick arrival,
+                            sim::Tick done)
+{
+    ++observations_;
+    auto it = joins_.find(join_id);
+    if (it == joins_.end() || it->second.joined) {
+        std::ostringstream os;
+        os << "array: join " << join_id << " completed "
+           << (it == joins_.end() ? "without a split" : "twice");
+        fail(os.str());
+        return;
+    }
+    if (it->second.outstanding != 0) {
+        std::ostringstream os;
+        os << "array: join " << join_id << " completed with "
+           << it->second.outstanding << " sub-requests outstanding";
+        fail(os.str());
+    }
+    if (done < arrival) {
+        std::ostringstream os;
+        os << "array: join " << join_id << " completed at " << done
+           << ", before its arrival " << arrival;
+        fail(os.str());
+    }
+    it->second.joined = true;
+    ++joinsCompleted_;
+    joins_.erase(it);
+}
+
+void
+InvariantChecker::finalize()
+{
+    for (const auto &[dev, d] : disks_) {
+        if (!d.outstanding.empty()) {
+            std::ostringstream os;
+            os << "disk " << dev << ": " << d.outstanding.size()
+               << " request id(s) never completed";
+            fail(os.str());
+        }
+        if (d.submits != d.completions) {
+            std::ostringstream os;
+            os << "disk " << dev << ": " << d.submits
+               << " submits vs " << d.completions << " completions";
+            fail(os.str());
+        }
+    }
+    if (!joins_.empty()) {
+        std::ostringstream os;
+        os << "array: " << joins_.size() << " join(s) never completed";
+        fail(os.str());
+    }
+    if (joinsCreated_ != joinsCompleted_) {
+        std::ostringstream os;
+        os << "array: " << joinsCreated_ << " splits vs "
+           << joinsCompleted_ << " joins";
+        fail(os.str());
+    }
+}
+
+VerifyScope::VerifyScope(InvariantChecker *checker) : prev_(t_current)
+{
+    t_current = checker;
+}
+
+VerifyScope::~VerifyScope()
+{
+    t_current = prev_;
+}
+
+} // namespace verify
+} // namespace idp

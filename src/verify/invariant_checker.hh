@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Simulation-wide runtime invariant checker.
+ *
+ * The simulator's conclusions rest on conservation laws that no
+ * single module can see whole: every submitted request completes
+ * exactly once, completions are causal (never before arrival plus a
+ * minimum service), per-component time never runs backwards, a
+ * drive's arm/seek/channel occupancy stays within its configured
+ * budgets, and every RAID fan-out joins exactly once. The checker
+ * observes those laws through the hooks in verify.hh and reports the
+ * first violation either by panicking (production runs — the default)
+ * or by recording it (tests that assert the checker catches seeded
+ * bugs).
+ *
+ * Install per run with VerifyScope; the hooks find the checker
+ * through a thread-local current, so concurrent sweep workers each
+ * verify their own run independently.
+ */
+
+#ifndef IDP_VERIFY_INVARIANT_CHECKER_HH
+#define IDP_VERIFY_INVARIANT_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace idp {
+namespace verify {
+
+/** What to do when an invariant is violated. */
+enum class FailMode
+{
+    Panic,  ///< sim::panic immediately (production runs)
+    Record, ///< append to violations() and continue (checker tests)
+};
+
+class InvariantChecker
+{
+  public:
+    explicit InvariantChecker(FailMode mode = FailMode::Panic);
+
+    InvariantChecker(const InvariantChecker &) = delete;
+    InvariantChecker &operator=(const InvariantChecker &) = delete;
+
+    /** The checker installed on this thread (null = checking off). */
+    static InvariantChecker *current();
+
+    // -- event kernel ------------------------------------------------
+    /** Firing an event at @p when with the clock at @p now must never
+     *  move time backwards. */
+    void checkKernelTime(sim::Tick now, sim::Tick when);
+
+    // -- disk level --------------------------------------------------
+    void diskSubmit(std::uint32_t dev, std::uint64_t id,
+                    sim::Tick arrival, sim::Tick now);
+    void diskComplete(std::uint32_t dev, std::uint64_t id,
+                      sim::Tick done, sim::Tick min_service);
+    /** Occupancy conservation: each in-flight request holds exactly
+     *  one busy arm, and the motion/channel budgets are respected. */
+    void checkDiskOccupancy(std::uint32_t dev, std::size_t in_flight,
+                            std::uint32_t busy_arms,
+                            std::uint32_t total_arms,
+                            std::uint32_t active_seeks,
+                            std::uint32_t max_seeks,
+                            std::uint32_t active_transfers,
+                            std::uint32_t max_transfers);
+
+    // -- array level -------------------------------------------------
+    void arraySplit(std::uint64_t join_id, sim::Tick arrival,
+                    sim::Tick now);
+    void arraySub(std::uint64_t join_id);
+    void arraySubFinish(std::uint64_t join_id, sim::Tick done);
+    void arrayJoin(std::uint64_t join_id, sim::Tick arrival,
+                   sim::Tick done);
+
+    /**
+     * End-of-run conservation: every disk submit was completed, every
+     * join was joined. Call after the simulator drains.
+     */
+    void finalize();
+
+    /** Violations recorded so far (Record mode; empty in Panic mode
+     *  unless the process would already have died). */
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Hook invocations observed (cheap liveness probe for tests). */
+    std::uint64_t observations() const { return observations_; }
+
+  private:
+    struct DiskState
+    {
+        /** id -> outstanding submit count (multiset semantics: RAID
+         *  RMW legitimately re-submits a join id to one disk). */
+        std::unordered_map<std::uint64_t, std::uint32_t> outstanding;
+        std::uint64_t submits = 0;
+        std::uint64_t completions = 0;
+        /** arrival ceiling: completions must be causal vs. the latest
+         *  submit of that id. */
+        std::unordered_map<std::uint64_t, sim::Tick> earliestDone;
+        sim::Tick lastSeen = 0;
+    };
+
+    struct JoinState
+    {
+        sim::Tick arrival = 0;
+        std::uint32_t outstanding = 0;
+        bool joined = false;
+    };
+
+    void fail(const std::string &what);
+    DiskState &disk(std::uint32_t dev);
+    void touch(std::uint32_t dev, sim::Tick now);
+
+    FailMode mode_;
+    std::vector<std::string> violations_;
+    std::uint64_t observations_ = 0;
+    std::unordered_map<std::uint32_t, DiskState> disks_;
+    std::unordered_map<std::uint64_t, JoinState> joins_;
+    std::uint64_t joinsCreated_ = 0;
+    std::uint64_t joinsCompleted_ = 0;
+    sim::Tick kernelNow_ = 0;
+};
+
+/** Installs a checker as this thread's current one (RAII). */
+class VerifyScope
+{
+  public:
+    explicit VerifyScope(InvariantChecker *checker);
+    ~VerifyScope();
+
+    VerifyScope(const VerifyScope &) = delete;
+    VerifyScope &operator=(const VerifyScope &) = delete;
+
+  private:
+    InvariantChecker *prev_;
+};
+
+} // namespace verify
+} // namespace idp
+
+#endif // IDP_VERIFY_INVARIANT_CHECKER_HH

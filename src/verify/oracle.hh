@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Analytic oracle suite: closed-form cross-checks of the full
+ * simulator.
+ *
+ * A trace-driven simulator earns trust by reproducing textbook
+ * results in the degenerate corners where those exist. Each oracle
+ * here configures the simulator into such a corner — seek and/or
+ * rotation scaled to zero, fixed service times, Poisson arrivals,
+ * cache-bypassing writes — runs the *full* stack (workload -> array
+ * -> disk -> statistics), and compares a measured statistic against
+ * the matching closed form from src/analytic within a stated
+ * tolerance:
+ *
+ *  - M/M/1 mean queue wait (event kernel driving an exponential toy
+ *    server — validates kernel, RNG, and the formula itself);
+ *  - M/D/1 and M/G/1 (Pollaczek-Khinchine) mean queue waits on the
+ *    zero-seek disk;
+ *  - SA(n) mean rotational latency, T / 2n, for n evenly spaced arm
+ *    assemblies (the paper's Figure 4/5 mechanism) for n = 1..4;
+ *  - the expected-min-uniform law T / (n + 1) for n arms at
+ *    *independently random* azimuths, checked over an ensemble of
+ *    randomized placements — this is `expectedMinUniform(period, n)`
+ *    and would catch Figure-4/5-class modeling drift that the evenly
+ *    spaced check alone cannot (it exercises arbitrary geometry);
+ *  - busy-fraction vs. offered utilization.
+ *
+ * All runs are seeded and deterministic: tolerances cover the fixed
+ * sampling realization, not run-to-run noise, so a failure always
+ * means drift.
+ */
+
+#ifndef IDP_VERIFY_ORACLE_HH
+#define IDP_VERIFY_ORACLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace idp {
+namespace verify {
+
+/** One oracle comparison. */
+struct OracleCase
+{
+    std::string name;     ///< e.g. "mg1.disk.wait"
+    double expected = 0.0;  ///< closed-form value
+    double simulated = 0.0; ///< measured value
+    double tolerance = 0.0; ///< relative unless absolute is set
+    bool absolute = false;  ///< tolerance is an absolute bound
+    bool pass = false;
+
+    double error() const;
+};
+
+/**
+ * Run every oracle. @p scale multiplies request counts (use < 1 for
+ * smoke runs; tolerances are calibrated for scale = 1).
+ */
+std::vector<OracleCase> runAnalyticOracles(double scale = 1.0);
+
+/** True when every case passed. */
+bool allPassed(const std::vector<OracleCase> &cases);
+
+/** Human-readable report, one line per case. */
+void printOracleReport(std::ostream &os,
+                       const std::vector<OracleCase> &cases);
+
+} // namespace verify
+} // namespace idp
+
+#endif // IDP_VERIFY_ORACLE_HH

@@ -9,17 +9,21 @@ namespace idp {
 namespace workload {
 
 namespace {
-constexpr const char *kHeader = "# idp-trace v1";
-}
+constexpr const char *kHeaderV1 = "# idp-trace v1";
+constexpr const char *kHeaderV2 = "# idp-trace v2";
+} // namespace
 
 void
 writeTrace(std::ostream &os, const Trace &trace)
 {
-    os << kHeader << '\n';
+    os << kHeaderV2 << '\n';
     for (const auto &req : trace) {
-        os << req.arrival / sim::kTicksPerUs << ' ' << req.device << ' '
+        os << req.id << ' ' << req.arrival << ' ' << req.device << ' '
            << req.lba << ' ' << req.sectors << ' '
-           << (req.isRead ? 'R' : 'W') << '\n';
+           << (req.isRead ? 'R' : 'W');
+        if (req.background)
+            os << 'B';
+        os << '\n';
     }
 }
 
@@ -40,24 +44,46 @@ readTrace(std::istream &is)
     std::string line;
     Trace trace;
     std::uint64_t line_no = 0;
-    std::uint64_t id = 0;
+    std::uint64_t next_id = 0; // v1: ids are reassigned on load
+    int version = 1;           // headerless input = v1
     while (std::getline(is, line)) {
         ++line_no;
-        if (line.empty() || line[0] == '#')
+        if (line.empty() || line[0] == '#') {
+            if (line == kHeaderV2)
+                version = 2;
+            else if (line == kHeaderV1)
+                version = 1;
             continue;
+        }
         std::istringstream ls(line);
-        std::uint64_t us = 0;
         IoRequest req;
-        char rw = '?';
-        if (!(ls >> us >> req.device >> req.lba >> req.sectors >> rw) ||
-            (rw != 'R' && rw != 'W')) {
+        std::string rw;
+        bool ok;
+        if (version >= 2) {
+            ok = static_cast<bool>(ls >> req.id >> req.arrival >>
+                                   req.device >> req.lba >>
+                                   req.sectors >> rw);
+        } else {
+            std::uint64_t us = 0;
+            ok = static_cast<bool>(ls >> us >> req.device >> req.lba >>
+                                   req.sectors >> rw);
+            req.arrival = us * sim::kTicksPerUs;
+            req.id = next_id++;
+        }
+        if (ok) {
+            if (rw == "R" || rw == "RB")
+                req.isRead = true;
+            else if (rw == "W" || rw == "WB")
+                req.isRead = false;
+            else
+                ok = false;
+            req.background = rw.size() == 2 && rw[1] == 'B';
+        }
+        if (!ok) {
             std::ostringstream msg;
             msg << "malformed trace line " << line_no << ": " << line;
             sim::fatal(msg.str());
         }
-        req.arrival = us * sim::kTicksPerUs;
-        req.isRead = rw == 'R';
-        req.id = id++;
         trace.push_back(req);
     }
     validateTrace(trace);

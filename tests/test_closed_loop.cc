@@ -87,6 +87,40 @@ TEST(ClosedLoop, MoreArmsMoreInteractiveThroughput)
     EXPECT_LT(sa4.meanResponseMs, conv.meanResponseMs);
 }
 
+TEST(ClosedLoop, TinyAddressSpaceStaysInBounds)
+{
+    // Regression for the LBA draw: the generator used to draw from
+    // [0, space - maxSectors) no matter the actual request size,
+    // leaving a dead zone at the top of the space. The per-request
+    // draw lets lba + sectors reach space exactly; with the space one
+    // sector larger than the biggest request, any off-by-one would
+    // trip the array's fatal bounds check and kill the run.
+    ClosedLoopParams p;
+    p.workers = 4;
+    p.thinkMs = 1.0;
+    p.horizonSeconds = 2.0;
+    p.minSectors = 1;
+    p.maxSectors = 256;
+    p.addressSpaceSectors = 257;
+    const ClosedLoopResult r = core::runClosedLoop(oneDisk(), p);
+    EXPECT_GT(r.completions, 100u);
+}
+
+TEST(ClosedLoop, FullLogicalSpaceNeverOverruns)
+{
+    // addressSpaceSectors = 0 defaults to the array's full logical
+    // capacity, so the draw's upper boundary coincides with the
+    // array's own bounds assert.
+    ClosedLoopParams p;
+    p.workers = 8;
+    p.thinkMs = 0.5;
+    p.horizonSeconds = 3.0;
+    p.minSectors = 1;
+    p.maxSectors = 256;
+    const ClosedLoopResult r = core::runClosedLoop(oneDisk(), p);
+    EXPECT_GT(r.completions, 200u);
+}
+
 TEST(ClosedLoop, Deterministic)
 {
     ClosedLoopParams p;

@@ -50,7 +50,7 @@ TEST(TraceFiles, HeaderPresent)
     std::ifstream is(path);
     std::string first;
     std::getline(is, first);
-    EXPECT_EQ(first, "# idp-trace v1");
+    EXPECT_EQ(first, "# idp-trace v2");
     std::remove(path.c_str());
 }
 
@@ -66,11 +66,14 @@ TEST(TraceFiles, UnwritablePathIsFatal)
                  "cannot open");
 }
 
-TEST(TraceFiles, IdsReassignedOnLoad)
+TEST(TraceFiles, V2PreservesIds)
 {
+    // The v1 writer dropped ids (readers reassigned 0, 1, 2, ...); a
+    // closed-loop trace whose ids encode the worker in the high bits
+    // came back renumbered. v2 round-trips them untouched.
     Trace t;
     IoRequest a;
-    a.id = 999;
+    a.id = (7ULL << 32) | 999;
     a.arrival = 0;
     a.lba = 5;
     a.sectors = 1;
@@ -78,7 +81,61 @@ TEST(TraceFiles, IdsReassignedOnLoad)
     const std::string path = tmpPath("ids.trace");
     writeTraceFile(path, t);
     const Trace loaded = readTraceFile(path);
+    EXPECT_EQ(loaded[0].id, (7ULL << 32) | 999);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFiles, V1IdsStillReassignedOnLoad)
+{
+    // Historical v1 semantics are preserved for existing files.
+    const std::string path = tmpPath("v1ids.trace");
+    {
+        std::ofstream os(path);
+        os << "# idp-trace v1\n"
+           << "10 0 5 1 R\n"
+           << "20 1 9 2 W\n";
+    }
+    const Trace loaded = readTraceFile(path);
+    ASSERT_EQ(loaded.size(), 2u);
     EXPECT_EQ(loaded[0].id, 0u);
+    EXPECT_EQ(loaded[1].id, 1u);
+    EXPECT_EQ(loaded[0].arrival, 10 * sim::kTicksPerUs);
+    EXPECT_EQ(loaded[1].device, 1u);
+    EXPECT_FALSE(loaded[1].isRead);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFiles, ExactRoundTripIncludingSubMicrosecondArrivals)
+{
+    // Regression: the v1 writer emitted arrival / kTicksPerUs, so any
+    // sub-microsecond component of an arrival tick was silently
+    // truncated and a write/read round trip changed the workload.
+    Trace t;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        IoRequest r;
+        r.id = 100 + i;
+        // Deliberately not multiples of kTicksPerUs.
+        r.arrival = i * sim::kTicksPerUs + 137 * i + 1;
+        r.device = static_cast<std::uint32_t>(i % 3);
+        r.lba = 1000 + 7 * i;
+        r.sectors = static_cast<std::uint32_t>(1 + i);
+        r.isRead = i % 2 == 0;
+        r.background = i == 4;
+        t.push_back(r);
+    }
+    const std::string path = tmpPath("exact.trace");
+    writeTraceFile(path, t);
+    const Trace loaded = readTraceFile(path);
+    ASSERT_EQ(loaded.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(loaded[i].id, t[i].id) << i;
+        EXPECT_EQ(loaded[i].arrival, t[i].arrival) << i;
+        EXPECT_EQ(loaded[i].device, t[i].device) << i;
+        EXPECT_EQ(loaded[i].lba, t[i].lba) << i;
+        EXPECT_EQ(loaded[i].sectors, t[i].sectors) << i;
+        EXPECT_EQ(loaded[i].isRead, t[i].isRead) << i;
+        EXPECT_EQ(loaded[i].background, t[i].background) << i;
+    }
     std::remove(path.c_str());
 }
 

@@ -1,7 +1,12 @@
 #!/bin/sh
 # Build, test, and regenerate every table/figure into results/.
-# Usage: tools/run_all.sh [--filter REGEX] [IDP_REQUESTS] [IDP_THREADS]
+# Usage: tools/run_all.sh [--verify] [--filter REGEX] [IDP_REQUESTS] [IDP_THREADS]
 #
+#   --verify         run the benches with the runtime invariant
+#                    checker enabled (IDP_VERIFY=1): any conservation
+#                    or causality violation aborts the bench. See
+#                    docs/verification.md; tools/verify_all.sh runs
+#                    the full audit.
 #   --filter REGEX   run only the bench binaries whose name matches
 #                    REGEX (grep -E syntax), e.g. --filter 'fig4'.
 #
@@ -13,6 +18,11 @@
 # `IDP_TRACE=1 tools/run_all.sh --filter fig4` produces traced runs.
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "$1" = "--verify" ]; then
+    export IDP_VERIFY=1
+    shift
+fi
 
 FILTER=''
 if [ "$1" = "--filter" ]; then
@@ -52,7 +62,7 @@ for b in build/bench/*; do
         continue
     fi
     ran=$((ran + 1))
-    echo "== $name (IDP_THREADS=${IDP_THREADS:-auto} IDP_TRACE=${IDP_TRACE:-0}) =="
+    echo "== $name (IDP_THREADS=${IDP_THREADS:-auto} IDP_TRACE=${IDP_TRACE:-0} IDP_VERIFY=${IDP_VERIFY:-default}) =="
     "$b" | tee "results/$name.txt"
 done
 if [ "$ran" -eq 0 ]; then
