@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Machine-readable benchmark reports.
+ *
+ * Benches append named metrics to a BenchReport and write it as a
+ * small JSON document ("idp-bench-v1" schema):
+ *
+ *   {
+ *     "schema": "idp-bench-v1",
+ *     "bench": "kernel",
+ *     "metrics": [
+ *       {"name": "drive_events_per_sec", "value": 1.2e6,
+ *        "unit": "events/s"},
+ *       ...
+ *     ]
+ *   }
+ *
+ * The reports feed the perf-trajectory harness: tools/run_all.sh and
+ * CI keep BENCH_*.json next to the figure outputs so a regression in
+ * events/sec or steady-state allocations is visible as a diff.
+ *
+ * Linking this library also interposes global operator new/delete
+ * with a counting pass-through, so benches can measure allocations
+ * per event in a steady-state window (allocCount()). Interposition is
+ * confined to bench executables: the library is linked only here.
+ */
+
+#ifndef IDP_BENCH_BENCH_JSON_HH
+#define IDP_BENCH_BENCH_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace idp {
+namespace benchjson {
+
+/** One named scalar result. */
+struct Metric
+{
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+};
+
+/** A bench's full result set; write() emits BENCH_<name>.json. */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string bench_name);
+
+    void add(const std::string &name, double value,
+             const std::string &unit);
+
+    /**
+     * Write BENCH_<bench>.json into $IDP_BENCH_OUT (or the working
+     * directory when unset). @return the path written.
+     */
+    std::string write() const;
+
+  private:
+    std::string bench_;
+    std::vector<Metric> metrics_;
+};
+
+/**
+ * Global allocation counter (operator new calls since process
+ * start). Subtract two readings around a measured region to get the
+ * region's allocation count.
+ */
+std::uint64_t allocCount();
+
+/** True when IDP_BENCH_SMOKE=1: run tiny sizes for CI smoke. */
+bool smokeMode();
+
+} // namespace benchjson
+} // namespace idp
+
+#endif // IDP_BENCH_BENCH_JSON_HH

@@ -17,9 +17,11 @@
  * SA(2) and SA(4) arrays consume ~41% and ~60% less power.
  */
 
+#include <chrono>
 #include <iostream>
 #include <map>
 
+#include "bench_json.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
 #include "exec/sim_sweep.hh"
@@ -76,8 +78,28 @@ main()
             }
         }
     }
+    const auto sim_t0 = std::chrono::steady_clock::now();
     const std::vector<core::RunResult> runs =
         exec::runSimPoints(points);
+    const auto sim_t1 = std::chrono::steady_clock::now();
+
+    // Perf-trajectory report (stderr + BENCH_raid.json; the figure
+    // output on stdout stays byte-identical across runs).
+    {
+        const double secs =
+            std::chrono::duration<double>(sim_t1 - sim_t0).count();
+        benchjson::BenchReport report("raid");
+        report.add("sim_points", static_cast<double>(points.size()),
+                   "points");
+        report.add("points_per_sec",
+                   static_cast<double>(points.size()) / secs,
+                   "points/s");
+        report.add("requests_per_sec",
+                   static_cast<double>(requests) *
+                       static_cast<double>(points.size()) / secs,
+                   "requests/s");
+        report.write();
+    }
 
     // (inter-arrival, kind, disks) -> result, reused for the
     // iso-performance power table.

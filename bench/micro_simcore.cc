@@ -9,6 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+
+#include "bench_json.hh"
 #include "disk/disk_drive.hh"
 #include "geom/geometry.hh"
 #include "mech/seek_model.hh"
@@ -170,6 +174,126 @@ BM_DriveServiceRateTraced(benchmark::State &state)
 }
 BENCHMARK(BM_DriveServiceRateTraced)->Arg(1)->Arg(4);
 
+/**
+ * Steady-state measurements for the perf-trajectory report
+ * (BENCH_kernel.json). Unlike the google-benchmark loops above, these
+ * keep one simulator (and one drive) alive across the whole window so
+ * the pooled calendar and pending arenas reach their zero-allocation
+ * steady state, which the report asserts via the interposed
+ * allocation counter.
+ */
+void
+emitKernelReport()
+{
+    using Clock = std::chrono::steady_clock;
+    benchjson::BenchReport report("kernel");
+    const bool smoke = benchjson::smokeMode();
+
+    {
+        // Raw calendar throughput: schedule/fire 4096-event batches.
+        sim::Simulator simul;
+        auto pump = [&simul](int batches) {
+            for (int b = 0; b < batches; ++b) {
+                const sim::Tick base = simul.now();
+                for (int i = 0; i < 4096; ++i)
+                    simul.schedule(
+                        base + static_cast<sim::Tick>(i * 37 % 4096),
+                        [] {});
+                simul.run();
+            }
+        };
+        pump(smoke ? 4 : 64);
+        const std::uint64_t fired0 = simul.eventsFired();
+        const std::uint64_t allocs0 = benchjson::allocCount();
+        const auto t0 = Clock::now();
+        pump(smoke ? 8 : 512);
+        const auto t1 = Clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        const double events =
+            static_cast<double>(simul.eventsFired() - fired0);
+        const double allocs =
+            static_cast<double>(benchjson::allocCount() - allocs0);
+        report.add("calendar_events_per_sec", events / secs,
+                   "events/s");
+        report.add("calendar_allocs_per_event", allocs / events,
+                   "allocs/event");
+    }
+
+    {
+        // End-to-end drive service: 512 random reads per round on a
+        // persistent 4-arm drive.
+        sim::Simulator simul;
+        disk::DriveSpec spec = disk::makeIntraDiskParallel(
+            disk::enterpriseDrive(2.0, 10000, 2), 4);
+        std::uint64_t done = 0;
+        disk::DiskDrive drive(
+            simul, spec,
+            [&done](const workload::IoRequest &, sim::Tick,
+                    const disk::ServiceInfo &) { ++done; });
+        sim::Rng rng(7);
+        const std::uint64_t total =
+            drive.geometry().totalSectors() - 64;
+        std::uint64_t next_id = 0;
+        auto pump = [&](int rounds) {
+            for (int r = 0; r < rounds; ++r) {
+                const sim::Tick base = simul.now();
+                for (int i = 0; i < 512; ++i) {
+                    workload::IoRequest req;
+                    req.id = next_id++;
+                    req.arrival = base;
+                    req.lba = rng.uniformInt(total);
+                    req.sectors = 8;
+                    req.isRead = true;
+                    simul.schedule(base,
+                                   [&drive, req] { drive.submit(req); });
+                }
+                simul.run();
+            }
+        };
+        // Warm past the stats SampleSets' next power-of-two capacity
+        // (65 rounds = 33280 samples -> vector capacity 65536) so the
+        // measured window triggers no reallocation.
+        pump(smoke ? 9 : 65);
+        const std::uint64_t fired0 = simul.eventsFired();
+        const std::uint64_t disp0 = drive.stats().mediaAccesses;
+        const std::uint64_t done0 = done;
+        const std::uint64_t allocs0 = benchjson::allocCount();
+        const auto t0 = Clock::now();
+        pump(smoke ? 4 : 32);
+        const auto t1 = Clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        const double events =
+            static_cast<double>(simul.eventsFired() - fired0);
+        const double allocs =
+            static_cast<double>(benchjson::allocCount() - allocs0);
+        report.add("drive_events_per_sec", events / secs, "events/s");
+        report.add("drive_dispatches_per_sec",
+                   static_cast<double>(drive.stats().mediaAccesses -
+                                       disp0) /
+                       secs,
+                   "dispatches/s");
+        report.add("drive_requests_per_sec",
+                   static_cast<double>(done - done0) / secs,
+                   "requests/s");
+        report.add("drive_allocs_per_event", allocs / events,
+                   "allocs/event");
+    }
+
+    report.write();
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitKernelReport();
+    return 0;
+}

@@ -43,10 +43,16 @@ DiskDrive::DiskDrive(sim::Simulator &simul, const DriveSpec &spec,
     ctrChannelBlocks_ = telemetry::counterHandle("disk.channel_blocks");
     ctrZeroLatHits_ = telemetry::counterHandle("disk.zero_latency_hits");
     ctrSpinUps_ = telemetry::counterHandle("disk.spin_ups");
-    nextInternalId_ = 1;
     headSwitchTicks_ = sim::msToTicks(spec_.headSwitchMs);
     controllerTicks_ = sim::msToTicks(spec_.controllerOverheadMs);
     faultRng_ = sim::Rng(spec_.faultSeed);
+    window_.reserve(spec_.schedWindow);
+    windowSlots_.reserve(spec_.schedWindow);
+    idleArms_.reserve(n);
+    oracle_ = [this](const sched::PendingView &r,
+                     const sched::ArmView &a) {
+        return cachedPositioning(r, a);
+    };
 }
 
 std::uint32_t
@@ -98,7 +104,13 @@ sim::Tick
 DiskDrive::scaledRotWait(sim::Tick at, const geom::Chs &chs,
                          double azimuth) const
 {
-    const double angle = geometry_.sectorAngle(chs);
+    return scaledRotWaitAngle(at, geometry_.sectorAngle(chs), azimuth);
+}
+
+sim::Tick
+DiskDrive::scaledRotWaitAngle(sim::Tick at, double angle,
+                              double azimuth) const
+{
     const sim::Tick raw = spindle_.waitFor(at, angle, azimuth);
     return static_cast<sim::Tick>(static_cast<double>(raw) *
                                   spec_.rotScale);
@@ -108,18 +120,25 @@ sim::Tick
 DiskDrive::armRotWait(sim::Tick at, const geom::Chs &chs,
                       std::uint32_t arm_index) const
 {
+    return armRotWaitAngle(at, geometry_.sectorAngle(chs), arm_index);
+}
+
+sim::Tick
+DiskDrive::armRotWaitAngle(sim::Tick at, double angle,
+                           std::uint32_t arm_index) const
+{
     const std::uint32_t heads = spec_.dash.headsPerArm;
     const double base = arms_[arm_index].azimuth;
     if (heads <= 1)
-        return scaledRotWait(at, chs, base);
+        return scaledRotWaitAngle(at, angle, base);
     // Heads on one arm are staggered so the combined head set of the
     // whole drive covers the circumference evenly.
     const double spacing =
         1.0 / (static_cast<double>(arms_.size()) * heads);
-    sim::Tick best = scaledRotWait(at, chs, base);
+    sim::Tick best = scaledRotWaitAngle(at, angle, base);
     for (std::uint32_t j = 1; j < heads; ++j) {
         const sim::Tick w =
-            scaledRotWait(at, chs, base + j * spacing);
+            scaledRotWaitAngle(at, angle, base + j * spacing);
         if (w < best)
             best = w;
     }
@@ -157,15 +176,140 @@ DiskDrive::transferTicks(const geom::Chs &start,
     return ticks;
 }
 
-sim::Tick
-DiskDrive::positioningEstimate(const sched::PendingView &req,
-                               const sched::ArmView &arm) const
+std::uint32_t
+DiskDrive::allocPending(const workload::IoRequest &req, bool internal)
 {
-    const sim::Tick seek =
-        scaledSeek(arm.cylinder, req.cylinder, !req.isRead);
-    const geom::Chs chs = geometry_.lbaToChs(req.lba);
-    const sim::Tick rot = armRotWait(sim_.now() + seek, chs, arm.index);
-    return seek + rot;
+    std::uint32_t slot;
+    if (pendingFree_.empty()) {
+        slot = static_cast<std::uint32_t>(pendingPool_.size());
+        pendingPool_.emplace_back();
+        // One cost-cache row (all arms) per arena slot, row-major.
+        costCache_.resize(pendingPool_.size() * arms_.size());
+    } else {
+        slot = pendingFree_.back();
+        pendingFree_.pop_back();
+    }
+    Pending &p = pendingPool_[slot];
+    p.req = req;
+    p.chs = geometry_.lbaToChs(req.lba);
+    p.sectorAngle = geometry_.sectorAngle(p.chs);
+    p.cylinder = p.chs.cylinder;
+    p.internal = internal;
+    ++p.gen; // retires any cost-cache rows from the prior occupancy
+    p.next = kNilSlot;
+    p.prev = kNilSlot;
+    return slot;
+}
+
+void
+DiskDrive::releasePending(std::uint32_t slot)
+{
+    Pending &p = pendingPool_[slot];
+    p.next = kNilSlot;
+    p.prev = kNilSlot;
+    pendingFree_.push_back(slot);
+}
+
+void
+DiskDrive::listPushBack(PendingList &list, std::uint32_t slot)
+{
+    Pending &p = pendingPool_[slot];
+    p.next = kNilSlot;
+    p.prev = list.tail;
+    if (list.tail != kNilSlot)
+        pendingPool_[list.tail].next = slot;
+    else
+        list.head = slot;
+    list.tail = slot;
+    ++list.size;
+}
+
+void
+DiskDrive::listUnlink(PendingList &list, std::uint32_t slot)
+{
+    Pending &p = pendingPool_[slot];
+    if (p.prev != kNilSlot)
+        pendingPool_[p.prev].next = p.next;
+    else
+        list.head = p.next;
+    if (p.next != kNilSlot)
+        pendingPool_[p.next].prev = p.prev;
+    else
+        list.tail = p.prev;
+    p.next = kNilSlot;
+    p.prev = kNilSlot;
+    --list.size;
+}
+
+std::uint64_t
+DiskDrive::installActive(Active active)
+{
+    std::uint32_t slot;
+    if (activeFree_.empty()) {
+        slot = static_cast<std::uint32_t>(activePool_.size());
+        activePool_.emplace_back();
+    } else {
+        slot = activeFree_.back();
+        activeFree_.pop_back();
+    }
+    Active &dst = activePool_[slot];
+    const std::uint32_t gen = dst.gen + 1;
+    dst = std::move(active);
+    dst.gen = gen;
+    ++activeCount_;
+    return (static_cast<std::uint64_t>(gen) << 32) |
+        (static_cast<std::uint64_t>(slot) + 1);
+}
+
+DiskDrive::Active &
+DiskDrive::activeAt(std::uint64_t id)
+{
+    const std::uint64_t low = id & 0xffffffffULL;
+    sim::simAssert(low != 0 && low <= activePool_.size(),
+                   "disk: bad active id");
+    Active &active = activePool_[static_cast<std::uint32_t>(low) - 1];
+    sim::simAssert(active.gen == static_cast<std::uint32_t>(id >> 32),
+                   "disk: stale active id");
+    return active;
+}
+
+void
+DiskDrive::releaseActive(std::uint64_t id)
+{
+    Active &active = activeAt(id);
+    active.riders.clear();
+    ++active.gen; // retires the id even before the slot is reused
+    activeFree_.push_back(
+        static_cast<std::uint32_t>(id & 0xffffffffULL) - 1);
+    --activeCount_;
+}
+
+sim::Tick
+DiskDrive::cachedPositioning(const sched::PendingView &req,
+                             const sched::ArmView &arm)
+{
+    const std::uint32_t slot = windowSlots_[req.slot];
+    const Pending &p = pendingPool_[slot];
+    CostEntry &e = costCache_[slot * arms_.size() + arm.index];
+    if (e.gen != p.gen) {
+        e.gen = p.gen;
+        e.seekValid = false;
+        e.rotValid = false;
+    }
+    if (!e.seekValid || e.armCyl != arm.cylinder) {
+        e.seek = scaledSeek(arm.cylinder, p.cylinder, !p.req.isRead);
+        e.armCyl = arm.cylinder;
+        e.seekValid = true;
+        // The rotational start time depends on the seek length.
+        e.rotValid = false;
+    }
+    const sim::Tick now = sim_.now();
+    if (!e.rotValid || e.evalAt != now) {
+        e.rot = armRotWaitAngle(now + e.seek, p.sectorAngle, arm.index);
+        e.evalAt = now;
+        e.rotValid = true;
+    }
+    return e.seek + e.rot;
 }
 
 void
@@ -232,13 +376,8 @@ DiskDrive::submit(const workload::IoRequest &req)
         }
     }
 
-    Pending pending;
-    pending.req = req;
-    pending.cylinder = geometry_.lbaToChs(req.lba).cylinder;
-    if (req.background)
-        pendingBg_.push_back(pending);
-    else
-        pending_.push_back(pending);
+    const std::uint32_t slot = allocPending(req, /*internal=*/false);
+    listPushBack(req.background ? bgList_ : fgList_, slot);
     beginSpinUpIfNeeded();
     tryDispatch();
 }
@@ -299,53 +438,69 @@ DiskDrive::tryDispatch()
 {
     if (modes_.spunDown() || spinningUp_)
         return;
-    while ((!pending_.empty() || !pendingBg_.empty()) &&
+    while ((fgList_.size != 0 || bgList_.size != 0) &&
            activeSeeks_ < spec_.maxConcurrentSeeks) {
-        // Collect idle arms.
-        std::vector<sched::ArmView> idle_arms;
-        for (std::uint32_t k = 0; k < arms_.size(); ++k) {
+        // Collect idle arms (reused scratch; no allocation).
+        idleArms_.clear();
+        for (std::uint32_t k = 0;
+             k < static_cast<std::uint32_t>(arms_.size()); ++k) {
             if (!arms_[k].busy && !arms_[k].failed)
-                idle_arms.push_back(
+                idleArms_.push_back(
                     {k, arms_[k].cylinder, arms_[k].azimuth});
         }
-        if (idle_arms.empty())
+        if (idleArms_.empty())
             return;
 
-        // Materialize the scheduling window (oldest first).
-        // Foreground requests have strict priority: background work
-        // (and destages) is scheduled only when no foreground request
-        // is pending — the freeblock-scheduling role the paper's
-        // Section 5 assigns to spare arms.
-        std::list<Pending> &source =
-            pending_.empty() ? pendingBg_ : pending_;
-        std::vector<std::list<Pending>::iterator> window_iters;
-        std::vector<sched::PendingView> window;
-        std::uint32_t slot = 0;
-        for (auto it = source.begin();
-             it != source.end() && slot < spec_.schedWindow;
-             ++it, ++slot) {
-            window_iters.push_back(it);
-            window.push_back({slot, it->req.lba, it->cylinder,
-                              it->req.arrival, it->req.isRead});
+        // Materialize the scheduling window (oldest first) by walking
+        // the intrusive FIFO. Foreground requests have strict
+        // priority: background work (and destages) is scheduled only
+        // when no foreground request is pending — the
+        // freeblock-scheduling role the paper's Section 5 assigns to
+        // spare arms.
+        PendingList &source = fgList_.size == 0 ? bgList_ : fgList_;
+        window_.clear();
+        windowSlots_.clear();
+        std::uint32_t idx = 0;
+        for (std::uint32_t s = source.head;
+             s != kNilSlot && idx < spec_.schedWindow;
+             s = pendingPool_[s].next, ++idx) {
+            const Pending &p = pendingPool_[s];
+            windowSlots_.push_back(s);
+            window_.push_back({idx, p.req.lba, p.cylinder,
+                               p.req.arrival, p.req.isRead});
         }
 
-        const sched::PositioningFn oracle =
-            [this](const sched::PendingView &r, const sched::ArmView &a) {
-                return positioningEstimate(r, a);
-            };
         const sched::Choice choice =
-            scheduler_->select(window, idle_arms, oracle, sim_.now());
-        sim::simAssert(choice.slot < window.size(),
+            scheduler_->select(window_, idleArms_, oracle_, sim_.now());
+        sim::simAssert(choice.slot < window_.size(),
                        "disk: scheduler chose bad slot");
         sim::simAssert(choice.arm < arms_.size() &&
                            !arms_[choice.arm].busy,
                        "disk: scheduler chose busy arm");
 
+        const std::uint32_t chosen = windowSlots_[choice.slot];
         Active active;
-        active.req = window_iters[choice.slot]->req;
-        active.internal = window_iters[choice.slot]->internal;
+        {
+            const Pending &p = pendingPool_[chosen];
+            active.req = p.req;
+            active.chs = p.chs;
+            active.internal = p.internal;
+            // Most policies priced the chosen pair through the
+            // oracle this very tick; reuse those exact values.
+            const CostEntry &e =
+                costCache_[chosen * arms_.size() + choice.arm];
+            if (e.gen == p.gen && e.seekValid &&
+                e.armCyl == arms_[choice.arm].cylinder) {
+                active.predSeek = e.seek;
+                if (e.rotValid && e.evalAt == sim_.now()) {
+                    active.predRot = e.rot;
+                    active.predRotAt = sim_.now() + e.seek;
+                }
+            }
+        }
         active.arm = choice.arm;
-        source.erase(window_iters[choice.slot]);
+        listUnlink(source, chosen);
+        releasePending(chosen);
 
         if (spec_.coalesce) {
             // Fold exactly-contiguous same-kind queued requests into
@@ -355,14 +510,16 @@ DiskDrive::tryDispatch()
             while (merged &&
                    active.riders.size() + 1 < spec_.coalesceLimit) {
                 merged = false;
-                for (auto it = source.begin(); it != source.end();
-                     ++it) {
-                    if (it->req.lba == next_lba &&
-                        it->req.isRead == active.req.isRead &&
-                        !it->internal) {
-                        next_lba += it->req.sectors;
-                        active.riders.push_back(it->req);
-                        source.erase(it);
+                for (std::uint32_t s = source.head; s != kNilSlot;
+                     s = pendingPool_[s].next) {
+                    const Pending &p = pendingPool_[s];
+                    if (p.req.lba == next_lba &&
+                        p.req.isRead == active.req.isRead &&
+                        !p.internal) {
+                        next_lba += p.req.sectors;
+                        active.riders.push_back(p.req);
+                        listUnlink(source, s);
+                        releasePending(s);
                         merged = true;
                         break;
                     }
@@ -377,15 +534,15 @@ void
 DiskDrive::startService(Active active)
 {
     const sim::Tick now = sim_.now();
-    active.chs = geometry_.lbaToChs(active.req.lba);
     active.dispatchTime = now;
     Arm &arm = arms_[active.arm];
     arm.busy = true;
 
-    active.seekTicks = scaledSeek(arm.cylinder, active.chs.cylinder,
-                                  !active.req.isRead);
+    active.seekTicks = active.predSeek != sim::kTickNever
+        ? active.predSeek
+        : scaledSeek(arm.cylinder, active.chs.cylinder,
+                     !active.req.isRead);
 
-    const std::uint64_t id = nextInternalId_++;
     modes_.requestStart(now);
     ++stats_.mediaAccesses;
     ++stats_.armAccesses[active.arm];
@@ -401,13 +558,14 @@ DiskDrive::startService(Active active)
         ++stats_.nonzeroSeeks;
 
     const bool needs_motion = active.seekTicks > 0;
+    const sim::Tick seek_ticks = active.seekTicks;
     active.phase = Phase::Seeking;
-    active_.emplace(id, std::move(active));
+    const std::uint64_t id = installActive(std::move(active));
 
     if (needs_motion) {
         ++activeSeeks_;
         modes_.seekStart(now);
-        sim_.schedule(now + active_.at(id).seekTicks,
+        sim_.schedule(now + seek_ticks,
                       [this, id] { onSeekDone(id); });
     } else {
         startRotation(id);
@@ -425,7 +583,7 @@ DiskDrive::verifyOccupancy() const
         if (arm.busy)
             ++busy_arms;
     verify::onDiskOccupancy(
-        telemetryId_, active_.size(), busy_arms,
+        telemetryId_, activeCount_, busy_arms,
         static_cast<std::uint32_t>(arms_.size()), activeSeeks_,
         spec_.maxConcurrentSeeks, activeTransfers_,
         spec_.maxConcurrentTransfers);
@@ -435,7 +593,7 @@ void
 DiskDrive::onSeekDone(std::uint64_t id)
 {
     const sim::Tick now = sim_.now();
-    Active &active = active_.at(id);
+    Active &active = activeAt(id);
     sim::simAssert(activeSeeks_ > 0, "disk: seek budget underflow");
     --activeSeeks_;
     modes_.seekEnd(now);
@@ -445,14 +603,13 @@ DiskDrive::onSeekDone(std::uint64_t id)
     startRotation(id);
     // Freed motion budget may admit the next pending request.
     tryDispatch();
-    (void)active;
 }
 
 void
 DiskDrive::startRotation(std::uint64_t id)
 {
     const sim::Tick now = sim_.now();
-    Active &active = active_.at(id);
+    Active &active = activeAt(id);
     Arm &arm = arms_[active.arm];
     arm.cylinder = active.chs.cylinder;
 
@@ -482,7 +639,10 @@ DiskDrive::startRotation(std::uint64_t id)
         }
     }
 
-    const sim::Tick wait = armRotWait(now, active.chs, active.arm);
+    const sim::Tick wait = active.predRotAt == now
+        ? active.predRot
+        : armRotWait(now, active.chs, active.arm);
+    active.predRotAt = sim::kTickNever;
     active.rotTicks += wait;
     if (wait > 0) {
         telemetry::emitSpan(active.req.id,
@@ -498,7 +658,7 @@ DiskDrive::startRotation(std::uint64_t id)
 void
 DiskDrive::onRotationDone(std::uint64_t id)
 {
-    Active &active = active_.at(id);
+    Active &active = activeAt(id);
     active.phase = Phase::ChannelWait;
     tryStartTransfer(id);
 }
@@ -507,9 +667,9 @@ void
 DiskDrive::tryStartTransfer(std::uint64_t id)
 {
     const sim::Tick now = sim_.now();
-    Active &active = active_.at(id);
+    Active &active = activeAt(id);
     if (activeTransfers_ >= spec_.maxConcurrentTransfers) {
-        channelWaiters_.push_back(id);
+        channelWaiters_.push(id);
         active.channelWaitFrom = now;
         telemetry::bump(ctrChannelBlocks_);
         return;
@@ -536,6 +696,43 @@ DiskDrive::tryStartTransfer(std::uint64_t id)
 }
 
 void
+DiskDrive::wakeNextChannelWaiter(bool defer_zero_wait)
+{
+    if (channelWaiters_.empty() ||
+        activeTransfers_ >= spec_.maxConcurrentTransfers)
+        return;
+    const sim::Tick now = sim_.now();
+    const std::uint64_t wid = channelWaiters_.pop();
+    Active &waiter = activeAt(wid);
+    if (waiter.channelWaitFrom != sim::kTickNever) {
+        telemetry::emitSpan(waiter.req.id,
+                            telemetry::SpanKind::ChannelWait,
+                            waiter.channelWaitFrom, now, telemetryId_,
+                            static_cast<std::uint16_t>(waiter.arm));
+        waiter.channelWaitFrom = sim::kTickNever;
+    }
+    // Its sector has rotated past; re-wait for the platter to come
+    // around again.
+    const sim::Tick extra = armRotWait(now, waiter.chs, waiter.arm);
+    waiter.rotTicks += extra;
+    waiter.phase = Phase::Rotating;
+    if (extra > 0) {
+        telemetry::emitSpan(waiter.req.id,
+                            telemetry::SpanKind::RotWait, now,
+                            now + extra, telemetryId_,
+                            static_cast<std::uint16_t>(waiter.arm));
+        sim_.schedule(now + extra, [this, wid] { onRotationDone(wid); });
+    } else if (defer_zero_wait) {
+        // Media-retry call site: keep the historical ordering of a
+        // zero-tick rotation event rather than re-entering the
+        // transfer path synchronously.
+        sim_.schedule(now, [this, wid] { onRotationDone(wid); });
+    } else {
+        onRotationDone(wid);
+    }
+}
+
+void
 DiskDrive::onTransferDone(std::uint64_t id)
 {
     const sim::Tick now = sim_.now();
@@ -548,7 +745,7 @@ DiskDrive::onTransferDone(std::uint64_t id)
     // full revolution (the sector must come around again), holding
     // the arm but releasing the channel while it waits.
     {
-        Active &active = active_.at(id);
+        Active &active = activeAt(id);
         if (spec_.mediaRetryRate > 0.0 &&
             active.retries < spec_.maxRetries &&
             faultRng_.chance(spec_.mediaRetryRate)) {
@@ -564,74 +761,23 @@ DiskDrive::onTransferDone(std::uint64_t id)
             sim_.schedule(now + rev,
                           [this, id] { onRotationDone(id); });
             // The freed channel may admit a waiter immediately.
-            if (!channelWaiters_.empty() &&
-                activeTransfers_ < spec_.maxConcurrentTransfers) {
-                const std::uint64_t wid = channelWaiters_.front();
-                channelWaiters_.erase(channelWaiters_.begin());
-                Active &waiter = active_.at(wid);
-                if (waiter.channelWaitFrom != sim::kTickNever) {
-                    telemetry::emitSpan(
-                        waiter.req.id,
-                        telemetry::SpanKind::ChannelWait,
-                        waiter.channelWaitFrom, now, telemetryId_,
-                        static_cast<std::uint16_t>(waiter.arm));
-                    waiter.channelWaitFrom = sim::kTickNever;
-                }
-                const sim::Tick extra = armRotWait(
-                    now, waiter.chs, waiter.arm);
-                waiter.rotTicks += extra;
-                waiter.phase = Phase::Rotating;
-                if (extra > 0)
-                    telemetry::emitSpan(
-                        waiter.req.id, telemetry::SpanKind::RotWait,
-                        now, now + extra, telemetryId_,
-                        static_cast<std::uint16_t>(waiter.arm));
-                sim_.schedule(now + extra,
-                              [this, wid] { onRotationDone(wid); });
-            }
+            wakeNextChannelWaiter(/*defer_zero_wait=*/true);
             return;
         }
     }
 
     completeActive(id);
 
-    // Wake the oldest channel waiter; its sector has rotated past, so
-    // it must re-wait for the platter to come around again.
-    if (!channelWaiters_.empty() &&
-        activeTransfers_ < spec_.maxConcurrentTransfers) {
-        const std::uint64_t wid = channelWaiters_.front();
-        channelWaiters_.erase(channelWaiters_.begin());
-        Active &waiter = active_.at(wid);
-        if (waiter.channelWaitFrom != sim::kTickNever) {
-            telemetry::emitSpan(
-                waiter.req.id, telemetry::SpanKind::ChannelWait,
-                waiter.channelWaitFrom, now, telemetryId_,
-                static_cast<std::uint16_t>(waiter.arm));
-            waiter.channelWaitFrom = sim::kTickNever;
-        }
-        const sim::Tick extra =
-            armRotWait(now, waiter.chs, waiter.arm);
-        waiter.rotTicks += extra;
-        waiter.phase = Phase::Rotating;
-        if (extra > 0) {
-            telemetry::emitSpan(
-                waiter.req.id, telemetry::SpanKind::RotWait, now,
-                now + extra, telemetryId_,
-                static_cast<std::uint16_t>(waiter.arm));
-            sim_.schedule(now + extra,
-                          [this, wid] { onRotationDone(wid); });
-        } else {
-            onRotationDone(wid);
-        }
-    }
+    // Wake the oldest channel waiter.
+    wakeNextChannelWaiter(/*defer_zero_wait=*/false);
 }
 
 void
 DiskDrive::completeActive(std::uint64_t id)
 {
     const sim::Tick now = sim_.now();
-    Active active = std::move(active_.at(id));
-    active_.erase(id);
+    Active active = std::move(activeAt(id));
+    releaseActive(id);
     modes_.requestEnd(now);
     arms_[active.arm].busy = false;
     verifyOccupancy();
@@ -687,20 +833,19 @@ DiskDrive::maybeDestage()
 {
     if (!spec_.cache.writeBack)
         return;
-    if (!pending_.empty() || !pendingBg_.empty() || !active_.empty())
+    if (fgList_.size != 0 || bgList_.size != 0 || activeCount_ != 0)
         return;
     auto dirty = cache_.popDirty();
     if (!dirty)
         return;
-    Pending pending;
-    pending.req.id = 0;
-    pending.req.arrival = sim_.now();
-    pending.req.lba = dirty->lba;
-    pending.req.sectors = dirty->sectors;
-    pending.req.isRead = false;
-    pending.cylinder = geometry_.lbaToChs(dirty->lba).cylinder;
-    pending.internal = true;
-    pendingBg_.push_back(pending);
+    workload::IoRequest req;
+    req.id = 0;
+    req.arrival = sim_.now();
+    req.lba = dirty->lba;
+    req.sectors = dirty->sectors;
+    req.isRead = false;
+    const std::uint32_t slot = allocPending(req, /*internal=*/true);
+    listPushBack(bgList_, slot);
     beginSpinUpIfNeeded();
     tryDispatch();
 }

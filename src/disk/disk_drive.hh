@@ -38,9 +38,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/disk_cache.hh"
@@ -137,18 +135,18 @@ class DiskDrive
     std::size_t
     queueDepth() const
     {
-        return pending_.size() + pendingBg_.size();
+        return fgList_.size + bgList_.size;
     }
 
     /** Requests currently in mechanical service. */
-    std::size_t inFlight() const { return active_.size(); }
+    std::size_t inFlight() const { return activeCount_; }
 
     /** True when no request is queued or in service. */
     bool
     idle() const
     {
-        return pending_.empty() && pendingBg_.empty() &&
-            active_.empty();
+        return fgList_.size == 0 && bgList_.size == 0 &&
+            activeCount_ == 0;
     }
 
     /** Close mode accounting at the current time and return totals. */
@@ -197,11 +195,56 @@ class DiskDrive
         Transferring,
     };
 
+    /** Sentinel slot index for intrusive-list links. */
+    static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+    /**
+     * One queued request, stored by value in a slot-stable arena.
+     * Geometry lookups (CHS, sector angle) are hoisted to enqueue
+     * time so the positioning oracle never re-resolves the LBA.
+     * Queue ordering is an intrusive doubly-linked list through
+     * next/prev, so dispatch and coalescing unlink in O(1) with zero
+     * steady-state allocations.
+     */
     struct Pending
     {
         workload::IoRequest req;
+        geom::Chs chs;
+        double sectorAngle = 0.0;
         std::uint32_t cylinder = 0;
         bool internal = false; ///< destage traffic, not reported
+        /** Bumped per slot reuse; guards stale cost-cache rows. */
+        std::uint32_t gen = 0;
+        std::uint32_t next = kNilSlot;
+        std::uint32_t prev = kNilSlot;
+    };
+
+    /** Intrusive FIFO over arena slots (head = oldest). */
+    struct PendingList
+    {
+        std::uint32_t head = kNilSlot;
+        std::uint32_t tail = kNilSlot;
+        std::size_t size = 0;
+    };
+
+    /**
+     * Cached positioning cost for one (pending slot, arm) pair.
+     * The seek half stays valid while the arm's cylinder is
+     * unchanged; the rotational half is phase-dependent and stays
+     * valid only for the exact evaluation tick it was computed at
+     * (reusing it across ticks would need floating-point identities
+     * the spindle math does not guarantee bit-exactly, and figure
+     * outputs are pinned byte-identical).
+     */
+    struct CostEntry
+    {
+        std::uint32_t gen = 0;
+        std::uint32_t armCyl = 0;
+        sim::Tick evalAt = 0;
+        sim::Tick seek = 0;
+        sim::Tick rot = 0;
+        bool seekValid = false;
+        bool rotValid = false;
     };
 
     struct Active
@@ -220,8 +263,58 @@ class DiskDrive
         sim::Tick channelWaitFrom = sim::kTickNever;
         std::uint32_t retries = 0; ///< media-error re-reads so far
         bool internal = false; ///< destage traffic, not reported
+        /**
+         * Positioning the oracle priced for this (request, arm) pair
+         * at dispatch. startService/startRotation reuse the values
+         * instead of recomputing when still exact: the seek whenever
+         * predicted (same arm cylinder, same target), the rotational
+         * wait only when startRotation runs at exactly predRotAt
+         * (dispatch tick + predicted seek). kTickNever = no
+         * prediction (e.g. SSTF never calls the oracle).
+         */
+        sim::Tick predSeek = sim::kTickNever;
+        sim::Tick predRot = sim::kTickNever;
+        sim::Tick predRotAt = sim::kTickNever;
+        /** Bumped per arena-slot reuse; tags in-flight ids. */
+        std::uint32_t gen = 0;
         /** Contiguous requests folded into this media access. */
         std::vector<workload::IoRequest> riders;
+    };
+
+    /** Allocation-free FIFO of in-flight ids blocked on the channel
+     *  (power-of-two ring; grows only past the high-water mark). */
+    struct WaiterRing
+    {
+        std::vector<std::uint64_t> buf;
+        std::size_t head = 0;
+        std::size_t count = 0;
+
+        bool empty() const { return count == 0; }
+
+        void
+        push(std::uint64_t v)
+        {
+            if (count == buf.size()) {
+                // Grow and re-linearize (rare; capacity is retained).
+                std::vector<std::uint64_t> bigger(
+                    buf.empty() ? 16 : buf.size() * 2);
+                for (std::size_t i = 0; i < count; ++i)
+                    bigger[i] = buf[(head + i) & (buf.size() - 1)];
+                buf = std::move(bigger);
+                head = 0;
+            }
+            buf[(head + count) & (buf.size() - 1)] = v;
+            ++count;
+        }
+
+        std::uint64_t
+        pop()
+        {
+            const std::uint64_t v = buf[head];
+            head = (head + 1) & (buf.size() - 1);
+            --count;
+            return v;
+        }
     };
 
     struct Arm
@@ -244,11 +337,28 @@ class DiskDrive
     std::vector<Arm> arms_;
     std::uint32_t activeSeeks_ = 0;
     std::uint32_t activeTransfers_ = 0;
-    std::list<Pending> pending_;   ///< foreground queue
-    std::list<Pending> pendingBg_; ///< background + destage queue
-    std::unordered_map<std::uint64_t, Active> active_;
-    std::vector<std::uint64_t> channelWaiters_; // FIFO of active ids
-    std::uint64_t nextInternalId_;
+
+    /** Slot-stable pending arena + free list + FIFO index lists. */
+    std::vector<Pending> pendingPool_;
+    std::vector<std::uint32_t> pendingFree_;
+    PendingList fgList_; ///< foreground queue
+    PendingList bgList_; ///< background + destage queue
+
+    /** Slot-stable in-flight arena (ids are (gen << 32) | slot). */
+    std::vector<Active> activePool_;
+    std::vector<std::uint32_t> activeFree_;
+    std::size_t activeCount_ = 0;
+
+    /** Per-(pending slot, arm) positioning costs; see CostEntry. */
+    std::vector<CostEntry> costCache_;
+
+    /** Reused per-dispatch scratch (no per-dispatch allocations). */
+    std::vector<sched::PendingView> window_;
+    std::vector<std::uint32_t> windowSlots_; ///< window idx -> slot
+    std::vector<sched::ArmView> idleArms_;
+    sched::PositioningFn oracle_;
+
+    WaiterRing channelWaiters_; // FIFO of in-flight ids
 
     stats::ModeTracker modes_;
     DriveStats stats_;
@@ -277,6 +387,32 @@ class DiskDrive
     void onTransferDone(std::uint64_t id);
     void completeActive(std::uint64_t id);
     void maybeDestage();
+
+    /** Arena plumbing for the pending queues. */
+    std::uint32_t allocPending(const workload::IoRequest &req,
+                               bool internal);
+    void releasePending(std::uint32_t slot);
+    void listPushBack(PendingList &list, std::uint32_t slot);
+    void listUnlink(PendingList &list, std::uint32_t slot);
+
+    /** Arena plumbing for in-flight requests. */
+    std::uint64_t installActive(Active active);
+    Active &activeAt(std::uint64_t id);
+    void releaseActive(std::uint64_t id);
+
+    /**
+     * Admit the oldest channel waiter if the channel has room; its
+     * sector has rotated past, so it re-waits for the platter.
+     * @p defer_zero_wait preserves the media-retry call site's
+     * historical behaviour of scheduling a zero-tick rotation event
+     * instead of re-entering the transfer path synchronously (the
+     * two orderings interleave differently with same-tick events).
+     */
+    void wakeNextChannelWaiter(bool defer_zero_wait);
+
+    /** Memoized positioning oracle; see CostEntry for validity. */
+    sim::Tick cachedPositioning(const sched::PendingView &req,
+                                const sched::ArmView &arm);
     void armIdleTimer();
     void onIdleTimeout();
     void beginSpinUpIfNeeded();
@@ -288,6 +424,9 @@ class DiskDrive
                          bool is_write) const;
     sim::Tick scaledRotWait(sim::Tick at, const geom::Chs &chs,
                             double azimuth) const;
+    /** scaledRotWait with the sector angle already resolved. */
+    sim::Tick scaledRotWaitAngle(sim::Tick at, double angle,
+                                 double azimuth) const;
     /**
      * Rotational wait for arm @p arm_index, taking the best of its
      * headsPerArm heads (the DASH H dimension: heads mounted
@@ -295,11 +434,12 @@ class DiskDrive
      */
     sim::Tick armRotWait(sim::Tick at, const geom::Chs &chs,
                          std::uint32_t arm_index) const;
+    /** armRotWait with the sector angle already resolved. */
+    sim::Tick armRotWaitAngle(sim::Tick at, double angle,
+                              std::uint32_t arm_index) const;
     sim::Tick transferTicks(const geom::Chs &start,
                             std::uint32_t sectors) const;
     sim::Tick busTicks(std::uint32_t sectors) const;
-    sim::Tick positioningEstimate(const sched::PendingView &req,
-                                  const sched::ArmView &arm) const;
 };
 
 } // namespace disk

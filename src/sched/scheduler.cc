@@ -72,6 +72,15 @@ class FcfsScheduler : public IoScheduler
             cheapestArm(pending[oldest], arms, cost);
         return {pending[oldest].slot, arms[arm].index};
     }
+
+    std::uint64_t
+    candidatesExamined(std::size_t pending,
+                       std::size_t arms) const override
+    {
+        // One age scan over the window, then one priced arm per
+        // idle arm for the oldest request.
+        return pending + arms;
+    }
 };
 
 class SstfScheduler : public IoScheduler
@@ -101,6 +110,14 @@ class SstfScheduler : public IoScheduler
         }
         return {pending[best_req].slot, arms[best_arm].index};
     }
+
+    std::uint64_t
+    candidatesExamined(std::size_t pending,
+                       std::size_t arms) const override
+    {
+        // Every (request, arm) cylinder distance is compared.
+        return static_cast<std::uint64_t>(pending) * arms;
+    }
 };
 
 class ClookScheduler : public IoScheduler
@@ -115,23 +132,32 @@ class ClookScheduler : public IoScheduler
     {
         // One-directional sweep: service the lowest cylinder at or
         // above the sweep position; wrap to the minimum when none.
+        // One pass tracks both candidates.
         std::size_t best = pending.size();
+        std::size_t lowest = 0;
         for (std::size_t r = 0; r < pending.size(); ++r) {
+            if (pending[r].cylinder < pending[lowest].cylinder)
+                lowest = r;
             if (pending[r].cylinder < sweep_)
                 continue;
             if (best == pending.size() ||
                 pending[r].cylinder < pending[best].cylinder)
                 best = r;
         }
-        if (best == pending.size()) {
-            best = 0;
-            for (std::size_t r = 1; r < pending.size(); ++r)
-                if (pending[r].cylinder < pending[best].cylinder)
-                    best = r;
-        }
+        if (best == pending.size())
+            best = lowest;
         sweep_ = pending[best].cylinder;
         const std::uint32_t arm = cheapestArm(pending[best], arms, cost);
         return {pending[best].slot, arms[arm].index};
+    }
+
+    std::uint64_t
+    candidatesExamined(std::size_t pending,
+                       std::size_t arms) const override
+    {
+        // One sweep over the window's cylinders, then one priced arm
+        // per idle arm for the request the sweep picked.
+        return pending + arms;
     }
 
   private:
@@ -178,6 +204,14 @@ class SptfScheduler : public IoScheduler
         return {pending[best_req].slot, arms[best_arm].index};
     }
 
+    std::uint64_t
+    candidatesExamined(std::size_t pending,
+                       std::size_t arms) const override
+    {
+        // Joint SPTF prices the full (request, arm) cross product.
+        return static_cast<std::uint64_t>(pending) * arms;
+    }
+
   private:
     double agingWeight_;
 };
@@ -206,8 +240,17 @@ class CountingScheduler : public IoScheduler
            sim::Tick now) override
     {
         telemetry::bump(ctrSelections_);
-        telemetry::bump(ctrCandidates_, pending.size() * arms.size());
+        telemetry::bump(ctrCandidates_,
+                        inner_->candidatesExamined(pending.size(),
+                                                   arms.size()));
         return inner_->select(pending, arms, cost, now);
+    }
+
+    std::uint64_t
+    candidatesExamined(std::size_t pending,
+                       std::size_t arms) const override
+    {
+        return inner_->candidatesExamined(pending, arms);
     }
 
   private:

@@ -96,6 +96,16 @@ class IoScheduler
     virtual Choice select(const std::vector<PendingView> &pending,
                           const std::vector<ArmView> &arms,
                           const PositioningFn &cost, sim::Tick now) = 0;
+
+    /**
+     * How many (request, arm) candidates one select() call over a
+     * window of @p pending requests and @p arms idle arms examines.
+     * Joint policies (SPTF) price every pair; the single-axis
+     * baselines scan the window once and then price only the chosen
+     * request's arms. Telemetry reports this as sched.candidates_seen.
+     */
+    virtual std::uint64_t candidatesExamined(std::size_t pending,
+                                             std::size_t arms) const = 0;
 };
 
 /** Scheduler construction options. */

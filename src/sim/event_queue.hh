@@ -7,27 +7,35 @@
  * scheduling order, so two events at the same tick always fire in the
  * order they were scheduled — a property several disk-model invariants
  * (e.g. "channel released before the next transfer is started") rely on.
+ *
+ * Storage layout: entries live by value in a slab with a free list
+ * (zero steady-state allocations once the slab has grown to the run's
+ * peak calendar pressure), and a 4-ary implicit heap of slim
+ * (tick, seq, slot) items orders them. Event ids are generation-tagged
+ * slot handles, so cancel() can tell a live entry from a fired,
+ * cancelled, or recycled one exactly instead of guessing from a bare
+ * sequence number.
  */
 
 #ifndef IDP_SIM_EVENT_QUEUE_HH
 #define IDP_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace idp {
 namespace sim {
 
-/** Callback type invoked when an event fires. */
-using EventAction = std::function<void()>;
+/** Callback type invoked when an event fires (inline up to 64 B). */
+using EventAction = SmallFn;
 
-/** Opaque handle identifying a scheduled event (for cancellation). */
+/** Opaque handle identifying a scheduled event (for cancellation).
+ *  Encodes (generation << 32) | (slab slot + 1); 0 is never issued. */
 using EventId = std::uint64_t;
 
 /** Sentinel returned for never-scheduled events. */
@@ -61,12 +69,43 @@ class Simulator
      */
     EventId schedule(Tick when, EventAction action);
 
+    /**
+     * Fast path for plain callables: the handler is constructed in
+     * place inside the calendar slab, skipping the type-erased move a
+     * SmallFn round-trip would cost.
+     */
+    template <typename Fn,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<Fn>, EventAction> &&
+                  std::is_invocable_r_v<void, std::decay_t<Fn> &>>>
+    EventId
+    schedule(Tick when, Fn &&fn)
+    {
+        const std::uint32_t slot = prepareSlot(when);
+        Entry &entry = slab_[slot];
+        entry.action.emplace(std::forward<Fn>(fn));
+        return makeId(slot, entry.gen);
+    }
+
     /** Schedule @p action @p delta ticks from now. */
     EventId scheduleAfter(Tick delta, EventAction action);
 
+    /** Fast-path variant of scheduleAfter (see schedule above). */
+    template <typename Fn,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<Fn>, EventAction> &&
+                  std::is_invocable_r_v<void, std::decay_t<Fn> &>>>
+    EventId
+    scheduleAfter(Tick delta, Fn &&fn)
+    {
+        return schedule(now_ + delta, std::forward<Fn>(fn));
+    }
+
     /**
-     * Cancel a previously scheduled event. Cancelling an event that has
-     * already fired (or was already cancelled) is a harmless no-op.
+     * Cancel a previously scheduled event. Cancelling an event that
+     * has already fired (or was already cancelled) is a counted no-op:
+     * the generation tag rejects the stale handle exactly, pending()
+     * stays truthful, and staleCancels() records the attempt.
      */
     void cancel(EventId id);
 
@@ -92,40 +131,66 @@ class Simulator
     /** Total events cancelled since construction. */
     std::uint64_t eventsCancelled() const { return cancelledCount_; }
 
+    /**
+     * Cancel calls that named an already-fired, already-cancelled, or
+     * recycled id (each was a no-op). Cancelling kInvalidEventId is
+     * the idiomatic "no timer armed" case and is not counted.
+     */
+    std::uint64_t staleCancels() const { return staleCancels_; }
+
   private:
     struct Entry
     {
-        Tick when;
-        std::uint64_t seq;
-        EventId id;
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        /** Bumped each time the slot is released; tags issued ids. */
+        std::uint32_t gen = 1;
+        bool cancelled = false;
         EventAction action;
     };
 
-    struct EntryCompare
+    /** Slim heap item: entries themselves never move in the slab. */
+    struct HeapItem
     {
-        // std::priority_queue is a max-heap; invert for earliest-first,
-        // with sequence number as the deterministic tiebreak.
-        bool
-        operator()(const std::unique_ptr<Entry> &a,
-                   const std::unique_ptr<Entry> &b) const
-        {
-            if (a->when != b->when)
-                return a->when > b->when;
-            return a->seq > b->seq;
-        }
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
     };
+
+    static bool
+    itemBefore(const HeapItem &a, const HeapItem &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(gen) << 32) |
+            (static_cast<EventId>(slot) + 1);
+    }
+
+    std::uint32_t allocSlot();
+    /** Shared schedule prologue: slot, heap entry, pending counters. */
+    std::uint32_t prepareSlot(Tick when);
+    void releaseSlot(std::uint32_t slot);
+    void heapPush(HeapItem item);
+    HeapItem heapPopMin();
 
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t fired_ = 0;
     std::uint64_t cancelledCount_ = 0;
+    std::uint64_t staleCancels_ = 0;
     std::size_t pending_ = 0;
     std::size_t peakPending_ = 0;
-    std::priority_queue<std::unique_ptr<Entry>,
-                        std::vector<std::unique_ptr<Entry>>,
-                        EntryCompare> heap_;
-    /** Ids cancelled but not yet popped; lazily discarded. */
-    std::unordered_set<EventId> cancelled_;
+    /** Slot-stable entry pool; grows to peak pressure, then reused. */
+    std::vector<Entry> slab_;
+    std::vector<std::uint32_t> freeSlots_;
+    /** 4-ary min-heap on (when, seq); holds live + cancelled slots. */
+    std::vector<HeapItem> heap_;
 };
 
 } // namespace sim

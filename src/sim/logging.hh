@@ -91,7 +91,20 @@ void warn(const std::string &msg);
 /** Like warn(), but suppresses repeats of an identical message. */
 void warnOnce(const std::string &msg);
 
-/** If !cond, panic with msg. Enabled in all build types. */
+/**
+ * If !cond, panic with msg. Enabled in all build types. Call sites
+ * pass string literals, which bind to this overload: the std::string
+ * is only materialized on the failure path, so a passing assert on a
+ * hot path costs one branch and never allocates.
+ */
+inline void
+simAssert(bool cond, const char *msg)
+{
+    if (__builtin_expect(!cond, 0))
+        panic(msg);
+}
+
+/** simAssert for messages composed at runtime. */
 inline void
 simAssert(bool cond, const std::string &msg)
 {

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the pooled event calendar: generation-tagged cancel
+ * semantics (stale handles are counted no-ops), exact pending /
+ * peak-pending accounting under randomized interleavings, and slot
+ * reuse never recycling a live id.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace idp::sim;
+
+TEST(EventPool, CancelAfterFireIsCountedNoop)
+{
+    Simulator simul;
+    int fired = 0;
+    const EventId id = simul.schedule(10, [&fired] { ++fired; });
+    simul.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(simul.pendingEvents(), 0u);
+
+    simul.cancel(id); // already fired: exact no-op, counted
+    EXPECT_EQ(simul.staleCancels(), 1u);
+    EXPECT_EQ(simul.eventsCancelled(), 0u);
+    EXPECT_EQ(simul.pendingEvents(), 0u);
+}
+
+TEST(EventPool, DoubleCancelCountsOnceReal)
+{
+    Simulator simul;
+    simul.schedule(5, [] {});
+    const EventId id = simul.schedule(10, [] {});
+    simul.cancel(id);
+    EXPECT_EQ(simul.pendingEvents(), 1u);
+    EXPECT_EQ(simul.eventsCancelled(), 1u);
+
+    simul.cancel(id); // second cancel of the same handle is stale
+    EXPECT_EQ(simul.pendingEvents(), 1u);
+    EXPECT_EQ(simul.eventsCancelled(), 1u);
+    EXPECT_EQ(simul.staleCancels(), 1u);
+
+    simul.run();
+    EXPECT_EQ(simul.eventsFired(), 1u);
+}
+
+TEST(EventPool, CancelOfInvalidIdsIsSafe)
+{
+    Simulator simul;
+    simul.cancel(kInvalidEventId); // "no timer armed": not counted
+    EXPECT_EQ(simul.staleCancels(), 0u);
+
+    simul.cancel(0xdeadbeef00000007ULL); // never-issued handle
+    EXPECT_EQ(simul.staleCancels(), 1u);
+
+    // Slot index far beyond the slab.
+    simul.cancel((1ULL << 32) | 0x7fffffffULL);
+    EXPECT_EQ(simul.staleCancels(), 2u);
+    EXPECT_EQ(simul.pendingEvents(), 0u);
+    EXPECT_EQ(simul.eventsCancelled(), 0u);
+}
+
+TEST(EventPool, PoolReuseDoesNotRecycleLiveId)
+{
+    Simulator simul;
+    const EventId first = simul.schedule(1, [] {});
+    ASSERT_TRUE(simul.step()); // fires and releases the slot
+
+    // The freed slot is reused; the generation tag must differ.
+    const EventId second = simul.schedule(2, [] {});
+    EXPECT_NE(first, second);
+    EXPECT_EQ(first & 0xffffffffULL, second & 0xffffffffULL)
+        << "expected slot reuse for this test to be meaningful";
+
+    // The stale first id must not cancel the live second event.
+    simul.cancel(first);
+    EXPECT_EQ(simul.staleCancels(), 1u);
+    EXPECT_EQ(simul.pendingEvents(), 1u);
+    simul.run();
+    EXPECT_EQ(simul.eventsFired(), 2u);
+}
+
+TEST(EventPool, CancelledSlotNotRecycledUntilPopped)
+{
+    Simulator simul;
+    // A cancelled entry stays in the heap until its tick; scheduling
+    // more events meanwhile must not reuse its slot.
+    const EventId doomed = simul.schedule(100, [] {});
+    simul.cancel(doomed);
+    std::vector<EventId> ids;
+    for (int i = 0; i < 32; ++i)
+        ids.push_back(simul.schedule(10 + i, [] {}));
+    for (const EventId id : ids)
+        EXPECT_NE(id & 0xffffffffULL, doomed & 0xffffffffULL)
+            << "cancelled-but-unpopped slot must not be on the free "
+               "list";
+    // All ids distinct.
+    std::vector<EventId> sorted = ids;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+              sorted.end());
+    simul.run();
+    EXPECT_EQ(simul.eventsFired(), 32u);
+    EXPECT_EQ(simul.eventsCancelled(), 1u);
+}
+
+/**
+ * Randomized schedule/cancel/fire interleavings checked against a
+ * reference model. Fire callbacks mark their own id dead (via a
+ * stable-address holder), so the model is exact for every counter:
+ * pending() (the historical bug undercounted it when a fired id was
+ * cancelled), peakPending(), eventsCancelled() and staleCancels().
+ */
+TEST(EventPool, RandomizedCountersExactUnderInterleaving)
+{
+    Rng rng(0xFEED5EED);
+    Simulator simul;
+    std::unordered_map<EventId, bool> live; // issued id -> pending?
+    std::vector<EventId> issued;
+    // Stable addresses for self-marking callbacks (push_back only).
+    std::deque<EventId> holder;
+    std::size_t model_pending = 0;
+    std::size_t model_peak = 0;
+    std::uint64_t model_cancelled = 0;
+    std::uint64_t model_stale = 0;
+
+    for (int op = 0; op < 20000; ++op) {
+        const std::uint64_t roll = rng.uniformInt(10);
+        if (roll < 5) { // schedule
+            const Tick when = simul.now() + rng.uniformInt(50);
+            holder.push_back(kInvalidEventId);
+            EventId *slot = &holder.back();
+            const EventId id =
+                simul.schedule(when, [slot, &live, &model_pending] {
+                    live[*slot] = false;
+                    --model_pending;
+                });
+            *slot = id;
+            ASSERT_NE(id, kInvalidEventId);
+            ASSERT_EQ(live.count(id), 0u)
+                << "live id recycled by the pool";
+            live[id] = true;
+            issued.push_back(id);
+            ++model_pending;
+            model_peak = std::max(model_peak, model_pending);
+        } else if (roll < 8 && !issued.empty()) { // cancel
+            const EventId id =
+                issued[rng.uniformInt(issued.size())];
+            simul.cancel(id);
+            if (live[id]) {
+                live[id] = false;
+                --model_pending;
+                ++model_cancelled;
+            } else {
+                // Already fired or already cancelled: stale no-op.
+                ++model_stale;
+            }
+        } else { // fire at most one event
+            const bool did = simul.step();
+            EXPECT_EQ(did, model_pending != 0);
+        }
+        ASSERT_EQ(simul.pendingEvents(), model_pending);
+        ASSERT_EQ(simul.peakPending(), model_peak);
+        ASSERT_EQ(simul.eventsCancelled(), model_cancelled);
+        ASSERT_EQ(simul.staleCancels(), model_stale);
+    }
+    // Drain: every remaining live event fires and self-marks.
+    simul.run();
+    EXPECT_EQ(simul.pendingEvents(), 0u);
+    EXPECT_EQ(model_pending, 0u);
+    for (const auto &kv : live)
+        EXPECT_FALSE(kv.second) << "id still marked live after drain";
+}
+
+} // namespace

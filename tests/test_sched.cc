@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "sched/scheduler.hh"
+#include "telemetry/telemetry.hh"
 
 namespace {
 
@@ -185,6 +186,54 @@ TEST(AllPolicies, SingleCandidateAlwaysChosen)
         EXPECT_EQ(c.slot, 7u) << policyToString(p);
         EXPECT_EQ(c.arm, 2u) << policyToString(p);
     }
+}
+
+TEST(CandidatesExamined, MatchesEachPolicyScanShape)
+{
+    // Single-request policies scan the window once and then price one
+    // arm per idle arm (pending + arms); joint policies compare the
+    // full (request, arm) cross product (pending × arms). The old
+    // CountingScheduler charged every policy the cross product.
+    EXPECT_EQ(makeScheduler({Policy::Fcfs, 0.0})
+                  ->candidatesExamined(6, 4),
+              10u);
+    EXPECT_EQ(makeScheduler({Policy::Clook, 0.0})
+                  ->candidatesExamined(6, 4),
+              10u);
+    EXPECT_EQ(makeScheduler({Policy::Sstf, 0.0})
+                  ->candidatesExamined(6, 4),
+              24u);
+    EXPECT_EQ(makeScheduler({Policy::Sptf, 0.0})
+                  ->candidatesExamined(6, 4),
+              24u);
+    EXPECT_EQ(makeScheduler({Policy::SptfAged, 0.5})
+                  ->candidatesExamined(6, 4),
+              24u);
+}
+
+TEST(CandidatesExamined, TelemetryCounterUsesPolicyCount)
+{
+    telemetry::Registry registry;
+    telemetry::RegistryScope scope(&registry);
+    // With a registry active the factory wraps the policy in the
+    // counting decorator; the counter must advance by the policy's
+    // own scan shape, not pending × arms.
+    auto s = makeScheduler({Policy::Clook, 0.0});
+    std::vector<PendingView> pending = {pv(0, 10), pv(1, 20),
+                                        pv(2, 30)};
+    std::vector<ArmView> arms = {{0, 0, 0.0}, {1, 500, 0.0}};
+    s->select(pending, arms, cylinderOracle, 0);
+    s->select(pending, arms, cylinderOracle, 0);
+    double candidates = -1.0;
+    double selections = -1.0;
+    for (const auto &row : registry.snapshot()) {
+        if (row.name == "sched.candidates_seen")
+            candidates = row.value;
+        if (row.name == "sched.selections")
+            selections = row.value;
+    }
+    EXPECT_EQ(selections, 2.0);
+    EXPECT_EQ(candidates, 2.0 * (3 + 2)); // 2 × (pending + arms)
 }
 
 } // namespace

@@ -70,3 +70,9 @@ if [ "$ran" -eq 0 ]; then
     exit 1
 fi
 echo "All outputs written to results/."
+# micro_simcore / fig8_raid also refresh the machine-readable perf
+# trajectory (BENCH_kernel.json / BENCH_raid.json) in the repo root —
+# or in $IDP_BENCH_OUT when set. See docs/performance.md.
+for j in BENCH_*.json; do
+    [ -f "$j" ] && echo "Perf trajectory refreshed: $j"
+done
