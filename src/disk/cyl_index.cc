@@ -1,0 +1,171 @@
+#include "disk/cyl_index.hh"
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace disk {
+
+namespace {
+
+/** Highest set bit index <= @p from over @p words, or -1. */
+std::int32_t
+scanDown(const std::uint64_t *words, std::int32_t from)
+{
+    if (from < 0)
+        return -1;
+    std::uint32_t word = static_cast<std::uint32_t>(from) >> 6;
+    std::uint32_t bit = static_cast<std::uint32_t>(from) & 63;
+    std::uint64_t w = words[word] & (~0ULL >> (63 - bit));
+    while (true) {
+        if (w != 0)
+            return static_cast<std::int32_t>(
+                (word << 6) + 63 -
+                static_cast<std::uint32_t>(__builtin_clzll(w)));
+        if (word == 0)
+            return -1;
+        w = words[--word];
+    }
+}
+
+/** Lowest set bit index >= @p from over @p words, or kNil. */
+std::uint32_t
+scanUp(const std::uint64_t *words, std::uint32_t from,
+       std::uint32_t limit)
+{
+    if (from >= limit)
+        return CylinderBuckets::kNil;
+    std::uint32_t word = from >> 6;
+    std::uint64_t w = words[word] & (~0ULL << (from & 63));
+    const std::uint32_t nwords = limit >> 6;
+    while (true) {
+        if (w != 0)
+            return (word << 6) +
+                static_cast<std::uint32_t>(__builtin_ctzll(w));
+        if (++word >= nwords)
+            return CylinderBuckets::kNil;
+        w = words[word];
+    }
+}
+
+} // namespace
+
+void
+CylinderBuckets::configure(std::uint32_t cylinders)
+{
+    sim::simAssert(cylinders >= 1, "cyl-index: empty cylinder range");
+    width_ = (cylinders + kBuckets - 1) / kBuckets;
+    if (width_ == 0)
+        width_ = 1;
+    size_ = 0;
+    for (auto &w : occupied_)
+        w = 0;
+    for (auto &h : heads_)
+        h = kNil;
+    for (auto &c : cyl_)
+        c = kNil;
+}
+
+void
+CylinderBuckets::ensureSlots(std::size_t n)
+{
+    if (next_.size() >= n)
+        return;
+    next_.resize(n, kNil);
+    prev_.resize(n, kNil);
+    cyl_.resize(n, kNil);
+}
+
+void
+CylinderBuckets::insert(std::uint32_t slot, std::uint32_t cylinder)
+{
+    sim::simAssert(slot < cyl_.size() && cyl_[slot] == kNil,
+                   "cyl-index: bad insert");
+    const std::uint32_t b = bucketOf(cylinder);
+    cyl_[slot] = cylinder;
+    prev_[slot] = kNil;
+    next_[slot] = heads_[b];
+    if (heads_[b] != kNil)
+        prev_[heads_[b]] = slot;
+    else
+        occupied_[b >> 6] |= 1ULL << (b & 63);
+    heads_[b] = slot;
+    ++size_;
+}
+
+void
+CylinderBuckets::remove(std::uint32_t slot)
+{
+    sim::simAssert(slot < cyl_.size() && cyl_[slot] != kNil,
+                   "cyl-index: bad remove");
+    const std::uint32_t b = bucketOf(cyl_[slot]);
+    if (prev_[slot] != kNil)
+        next_[prev_[slot]] = next_[slot];
+    else
+        heads_[b] = next_[slot];
+    if (next_[slot] != kNil)
+        prev_[next_[slot]] = prev_[slot];
+    if (heads_[b] == kNil)
+        occupied_[b >> 6] &= ~(1ULL << (b & 63));
+    next_[slot] = kNil;
+    prev_[slot] = kNil;
+    cyl_[slot] = kNil;
+    --size_;
+}
+
+std::uint32_t
+CylinderBuckets::minDistance(std::uint32_t bucket,
+                             std::uint32_t origin_cyl) const
+{
+    const std::uint32_t lo = bucket * width_;
+    const std::uint32_t hi = lo + width_ - 1;
+    if (origin_cyl < lo)
+        return lo - origin_cyl;
+    if (origin_cyl > hi)
+        return origin_cyl - hi;
+    return 0;
+}
+
+CylinderBuckets::Scan
+CylinderBuckets::beginScan(std::uint32_t cylinder) const
+{
+    Scan scan;
+    scan.origin = cylinder;
+    const std::uint32_t b = bucketOf(cylinder);
+    scan.down = static_cast<std::int32_t>(b);
+    scan.up = b + 1;
+    return scan;
+}
+
+bool
+CylinderBuckets::nextBucket(Scan &scan, std::uint32_t &bucket,
+                            std::uint32_t &min_dist) const
+{
+    const std::int32_t down = scanDown(occupied_, scan.down);
+    const std::uint32_t up = scanUp(occupied_, scan.up, kBuckets);
+    if (down < 0 && up == kNil)
+        return false;
+    const std::uint32_t dist_down = down >= 0
+        ? minDistance(static_cast<std::uint32_t>(down), scan.origin)
+        : kNil;
+    const std::uint32_t dist_up =
+        up != kNil ? minDistance(up, scan.origin) : kNil;
+    if (dist_down <= dist_up) {
+        bucket = static_cast<std::uint32_t>(down);
+        min_dist = dist_down;
+        scan.down = down - 1;
+    } else {
+        bucket = up;
+        min_dist = dist_up;
+        scan.up = up + 1;
+    }
+    return true;
+}
+
+std::uint32_t
+CylinderBuckets::firstOccupiedAtOrAbove(std::uint32_t bucket) const
+{
+    return scanUp(occupied_, bucket, kBuckets);
+}
+
+} // namespace disk
+} // namespace idp

@@ -47,8 +47,13 @@ DiskDrive::DiskDrive(sim::Simulator &simul, const DriveSpec &spec,
     controllerTicks_ = sim::msToTicks(spec_.controllerOverheadMs);
     faultRng_ = sim::Rng(spec_.faultSeed);
     window_.reserve(spec_.schedWindow);
-    windowSlots_.reserve(spec_.schedWindow);
     idleArms_.reserve(n);
+    fgList_.index.configure(geometry_.cylinders());
+    bgList_.index.configure(geometry_.cylinders());
+    // FCFS keys on age alone — nothing for a cylinder index to
+    // prune — so it keeps the materialized exhaustive path.
+    schedIndexed_ = spec_.schedPrune && sched::pruneEnabledFromEnv() &&
+        spec_.sched.policy != sched::Policy::Fcfs;
     oracle_ = [this](const sched::PendingView &r,
                      const sched::ArmView &a) {
         return cachedPositioning(r, a);
@@ -96,6 +101,19 @@ DiskDrive::scaledSeek(std::uint32_t from, std::uint32_t to,
 {
     const std::uint32_t dist = from > to ? from - to : to - from;
     const sim::Tick raw = seekModel_.seekTicks(dist, is_write);
+    return static_cast<sim::Tick>(static_cast<double>(raw) *
+                                  spec_.seekScale);
+}
+
+sim::Tick
+DiskDrive::seekLbTicks(std::uint32_t dist) const
+{
+    if (dist == 0)
+        return 0;
+    // Read seek at that distance: admissible because a write seek
+    // only adds settle time and the rotational wait is >= 0, and
+    // monotone because the seek curve is.
+    const sim::Tick raw = seekModel_.seekTicks(dist, false);
     return static_cast<sim::Tick>(static_cast<double>(raw) *
                                   spec_.seekScale);
 }
@@ -185,6 +203,11 @@ DiskDrive::allocPending(const workload::IoRequest &req, bool internal)
         pendingPool_.emplace_back();
         // One cost-cache row (all arms) per arena slot, row-major.
         costCache_.resize(pendingPool_.size() * arms_.size());
+        fgList_.index.ensureSlots(pendingPool_.size());
+        bgList_.index.ensureSlots(pendingPool_.size());
+        // The free list can hold every slot (drain phases); grow its
+        // capacity here so releasePending never allocates.
+        pendingFree_.reserve(pendingPool_.size());
     } else {
         slot = pendingFree_.back();
         pendingFree_.pop_back();
@@ -198,6 +221,8 @@ DiskDrive::allocPending(const workload::IoRequest &req, bool internal)
     ++p.gen; // retires any cost-cache rows from the prior occupancy
     p.next = kNilSlot;
     p.prev = kNilSlot;
+    p.seq = 0;
+    p.inWindow = false;
     return slot;
 }
 
@@ -222,12 +247,34 @@ DiskDrive::listPushBack(PendingList &list, std::uint32_t slot)
         list.head = slot;
     list.tail = slot;
     ++list.size;
+    p.seq = ++enqueueSeq_;
+    // The window is a list prefix: an appended slot joins it exactly
+    // when the window is not yet full — then the whole list was
+    // windowed, so the new tail extends the prefix.
+    if (list.windowCount < spec_.schedWindow) {
+        p.inWindow = true;
+        ++list.windowCount;
+        list.windowTail = slot;
+        if (schedIndexed_)
+            list.index.insert(slot, p.cylinder);
+    } else {
+        p.inWindow = false;
+    }
 }
 
 void
 DiskDrive::listUnlink(PendingList &list, std::uint32_t slot)
 {
     Pending &p = pendingPool_[slot];
+    const bool was_window = p.inWindow;
+    if (was_window) {
+        if (schedIndexed_)
+            list.index.remove(slot);
+        p.inWindow = false;
+        --list.windowCount;
+        if (list.windowTail == slot)
+            list.windowTail = p.prev;
+    }
     if (p.prev != kNilSlot)
         pendingPool_[p.prev].next = p.next;
     else
@@ -239,6 +286,22 @@ DiskDrive::listUnlink(PendingList &list, std::uint32_t slot)
     p.next = kNilSlot;
     p.prev = kNilSlot;
     --list.size;
+    if (was_window) {
+        // A removal inside the window promotes the first entry beyond
+        // it (the window tail's successor; the new head when the
+        // removed slot was the only window member).
+        const std::uint32_t succ = list.windowTail == kNilSlot
+            ? list.head
+            : pendingPool_[list.windowTail].next;
+        if (succ != kNilSlot) {
+            Pending &q = pendingPool_[succ];
+            q.inWindow = true;
+            ++list.windowCount;
+            list.windowTail = succ;
+            if (schedIndexed_)
+                list.index.insert(succ, q.cylinder);
+        }
+    }
 }
 
 std::uint64_t
@@ -288,7 +351,7 @@ sim::Tick
 DiskDrive::cachedPositioning(const sched::PendingView &req,
                              const sched::ArmView &arm)
 {
-    const std::uint32_t slot = windowSlots_[req.slot];
+    const std::uint32_t slot = req.slot;
     const Pending &p = pendingPool_[slot];
     CostEntry &e = costCache_[slot * arms_.size() + arm.index];
     if (e.gen != p.gen) {
@@ -451,34 +514,44 @@ DiskDrive::tryDispatch()
         if (idleArms_.empty())
             return;
 
-        // Materialize the scheduling window (oldest first) by walking
-        // the intrusive FIFO. Foreground requests have strict
-        // priority: background work (and destages) is scheduled only
-        // when no foreground request is pending — the
-        // freeblock-scheduling role the paper's Section 5 assigns to
-        // spare arms.
+        // Foreground requests have strict priority: background work
+        // (and destages) is scheduled only when no foreground request
+        // is pending — the freeblock-scheduling role the paper's
+        // Section 5 assigns to spare arms.
         PendingList &source = fgList_.size == 0 ? bgList_ : fgList_;
-        window_.clear();
-        windowSlots_.clear();
-        std::uint32_t idx = 0;
-        for (std::uint32_t s = source.head;
-             s != kNilSlot && idx < spec_.schedWindow;
-             s = pendingPool_[s].next, ++idx) {
-            const Pending &p = pendingPool_[s];
-            windowSlots_.push_back(s);
-            window_.push_back({idx, p.req.lba, p.cylinder,
-                               p.req.arrival, p.req.isRead});
+        sched::Choice choice;
+        if (schedIndexed_) {
+            // Pruned path: hand the scheduler the incrementally
+            // maintained cylinder index over the window — no window
+            // materialization, and only candidates the admissible
+            // seek bound cannot exclude are priced.
+            windowIndex_.bind(this, &source);
+            choice = scheduler_->selectIndexed(idleArms_, oracle_,
+                                               sim_.now(),
+                                               windowIndex_);
+        } else {
+            // Exhaustive path: materialize the scheduling window
+            // (oldest first) by walking the intrusive FIFO.
+            window_.clear();
+            for (std::uint32_t s = source.head; s != kNilSlot;
+                 s = pendingPool_[s].next) {
+                const Pending &p = pendingPool_[s];
+                if (!p.inWindow)
+                    break;
+                window_.push_back({s, p.req.lba, p.cylinder,
+                                   p.req.arrival, p.req.isRead});
+            }
+            choice = scheduler_->select(window_, idleArms_, oracle_,
+                                        sim_.now());
         }
-
-        const sched::Choice choice =
-            scheduler_->select(window_, idleArms_, oracle_, sim_.now());
-        sim::simAssert(choice.slot < window_.size(),
+        sim::simAssert(choice.slot < pendingPool_.size() &&
+                           pendingPool_[choice.slot].inWindow,
                        "disk: scheduler chose bad slot");
         sim::simAssert(choice.arm < arms_.size() &&
                            !arms_[choice.arm].busy,
                        "disk: scheduler chose busy arm");
 
-        const std::uint32_t chosen = windowSlots_[choice.slot];
+        const std::uint32_t chosen = choice.slot;
         Active active;
         {
             const Pending &p = pendingPool_[chosen];
@@ -860,6 +933,127 @@ stats::ModeTimes
 DiskDrive::modeTimesSnapshot() const
 {
     return modes_.snapshot(sim_.now());
+}
+
+sim::Tick
+DiskDrive::WindowIndex::seekLowerBound(std::uint32_t dist) const
+{
+    return drive_->seekLbTicks(dist);
+}
+
+sim::Tick
+DiskDrive::WindowIndex::maxQueueWait(sim::Tick now) const
+{
+    // The FIFO head is the oldest window member, but coalescing can
+    // unlink mid-list, so walk the (bounded) window prefix.
+    sim::Tick max_wait = 0;
+    for (std::uint32_t s = list_->head;
+         s != kNilSlot && drive_->pendingPool_[s].inWindow;
+         s = drive_->pendingPool_[s].next) {
+        const sim::Tick arrival = drive_->pendingPool_[s].req.arrival;
+        const sim::Tick wait = now - std::min(now, arrival);
+        if (wait > max_wait)
+            max_wait = wait;
+    }
+    return max_wait;
+}
+
+void
+DiskDrive::WindowIndex::beginScan(std::uint32_t cylinder)
+{
+    scan_ = list_->index.beginScan(cylinder);
+}
+
+bool
+DiskDrive::WindowIndex::nextBand(
+    std::uint32_t &min_dist,
+    std::vector<sched::IndexedCandidate> &members)
+{
+    std::uint32_t bucket = CylinderBuckets::kNil;
+    if (!list_->index.nextBucket(scan_, bucket, min_dist))
+        return false;
+    members.clear();
+    for (std::uint32_t s = list_->index.head(bucket);
+         s != CylinderBuckets::kNil; s = list_->index.next(s)) {
+        const Pending &p = drive_->pendingPool_[s];
+        members.push_back({{s, p.req.lba, p.cylinder, p.req.arrival,
+                            p.req.isRead},
+                           p.seq});
+        ++visited_;
+    }
+    return true;
+}
+
+bool
+DiskDrive::WindowIndex::firstAtOrAbove(std::uint32_t cylinder,
+                                       sched::IndexedCandidate &out)
+{
+    const CylinderBuckets &index = list_->index;
+    std::uint32_t bucket =
+        index.firstOccupiedAtOrAbove(index.bucketOf(cylinder));
+    while (bucket != CylinderBuckets::kNil) {
+        // Buckets partition the cylinder range in ascending order, so
+        // the first bucket with a qualifying member holds the answer;
+        // only the starting bucket can mix members below @p cylinder.
+        bool have = false;
+        for (std::uint32_t s = index.head(bucket);
+             s != CylinderBuckets::kNil; s = index.next(s)) {
+            const Pending &p = drive_->pendingPool_[s];
+            ++visited_;
+            if (p.cylinder < cylinder)
+                continue;
+            if (!have || p.cylinder < out.view.cylinder ||
+                (p.cylinder == out.view.cylinder &&
+                 p.seq < out.order)) {
+                out = {{s, p.req.lba, p.cylinder, p.req.arrival,
+                        p.req.isRead},
+                       p.seq};
+                have = true;
+            }
+        }
+        if (have)
+            return true;
+        bucket = index.firstOccupiedAtOrAbove(bucket + 1);
+    }
+    return false;
+}
+
+bool
+DiskDrive::WindowIndex::lowestCylinder(sched::IndexedCandidate &out)
+{
+    const CylinderBuckets &index = list_->index;
+    const std::uint32_t bucket = index.firstOccupied();
+    if (bucket == CylinderBuckets::kNil)
+        return false;
+    bool have = false;
+    for (std::uint32_t s = index.head(bucket);
+         s != CylinderBuckets::kNil; s = index.next(s)) {
+        const Pending &p = drive_->pendingPool_[s];
+        ++visited_;
+        if (!have || p.cylinder < out.view.cylinder ||
+            (p.cylinder == out.view.cylinder && p.seq < out.order)) {
+            out = {{s, p.req.lba, p.cylinder, p.req.arrival,
+                    p.req.isRead},
+                   p.seq};
+            have = true;
+        }
+    }
+    return have;
+}
+
+void
+DiskDrive::WindowIndex::materializeWindow(
+    std::vector<sched::PendingView> &out) const
+{
+    out.clear();
+    for (std::uint32_t s = list_->head; s != kNilSlot;
+         s = drive_->pendingPool_[s].next) {
+        const Pending &p = drive_->pendingPool_[s];
+        if (!p.inWindow)
+            break;
+        out.push_back(
+            {s, p.req.lba, p.cylinder, p.req.arrival, p.req.isRead});
+    }
 }
 
 } // namespace disk

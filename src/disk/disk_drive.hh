@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "cache/disk_cache.hh"
+#include "disk/cyl_index.hh"
 #include "disk/drive_config.hh"
 #include "geom/geometry.hh"
 #include "mech/seek_model.hh"
@@ -217,14 +218,34 @@ class DiskDrive
         std::uint32_t gen = 0;
         std::uint32_t next = kNilSlot;
         std::uint32_t prev = kNilSlot;
+        /**
+         * Drive-wide monotone enqueue stamp. The FIFO is append-only
+         * with order-preserving unlinks, so ascending seq *is* the
+         * queue order — the schedulers' cost tie-break key, replacing
+         * the window position the exhaustive scan ties on.
+         */
+        std::uint64_t seq = 0;
+        /** Member of the first min(size, schedWindow) list prefix. */
+        bool inWindow = false;
     };
 
-    /** Intrusive FIFO over arena slots (head = oldest). */
+    /**
+     * Intrusive FIFO over arena slots (head = oldest). The scheduling
+     * window — the first min(size, schedWindow) entries — is tracked
+     * incrementally: windowTail/windowCount move O(1) per push and
+     * unlink (an unlink inside the window promotes the first entry
+     * beyond it), and the cylinder index mirrors exactly the window
+     * members, so dispatch never walks or materializes the prefix.
+     */
     struct PendingList
     {
         std::uint32_t head = kNilSlot;
         std::uint32_t tail = kNilSlot;
         std::size_t size = 0;
+        std::uint32_t windowTail = kNilSlot;
+        std::uint32_t windowCount = 0;
+        /** Cylinder-bucketed window members (indexed dispatch only). */
+        CylinderBuckets index;
     };
 
     /**
@@ -325,6 +346,48 @@ class DiskDrive
         bool failed = false; ///< deconfigured by failArm()
     };
 
+    /**
+     * Adapter the indexed dispatch path hands to
+     * IoScheduler::selectIndexed: the source list's cylinder buckets
+     * plus this drive's seek curve as the admissible lower bound.
+     * Bound per selection (bind()), so one instance serves both
+     * pending lists with zero per-dispatch allocation.
+     */
+    class WindowIndex final : public sched::CylinderIndex
+    {
+      public:
+        void
+        bind(DiskDrive *drive, const PendingList *list)
+        {
+            drive_ = drive;
+            list_ = list;
+            visited_ = 0;
+        }
+
+        std::size_t windowSize() const override
+        {
+            return list_->windowCount;
+        }
+        sim::Tick seekLowerBound(std::uint32_t dist) const override;
+        sim::Tick maxQueueWait(sim::Tick now) const override;
+        void beginScan(std::uint32_t cylinder) override;
+        bool nextBand(std::uint32_t &min_dist,
+                      std::vector<sched::IndexedCandidate> &members)
+            override;
+        bool firstAtOrAbove(std::uint32_t cylinder,
+                            sched::IndexedCandidate &out) override;
+        bool lowestCylinder(sched::IndexedCandidate &out) override;
+        void materializeWindow(
+            std::vector<sched::PendingView> &out) const override;
+        std::uint64_t visited() const override { return visited_; }
+
+      private:
+        DiskDrive *drive_ = nullptr;
+        const PendingList *list_ = nullptr;
+        CylinderBuckets::Scan scan_;
+        std::uint64_t visited_ = 0;
+    };
+
     sim::Simulator &sim_;
     DriveSpec spec_;
     geom::DiskGeometry geometry_;
@@ -354,9 +417,14 @@ class DiskDrive
 
     /** Reused per-dispatch scratch (no per-dispatch allocations). */
     std::vector<sched::PendingView> window_;
-    std::vector<std::uint32_t> windowSlots_; ///< window idx -> slot
     std::vector<sched::ArmView> idleArms_;
     sched::PositioningFn oracle_;
+    WindowIndex windowIndex_;
+    /** Monotone enqueue stamp feeding Pending::seq. */
+    std::uint64_t enqueueSeq_ = 0;
+    /** Dispatch through the cylinder index (policy supports it,
+     *  spec_.schedPrune set, IDP_SCHED_PRUNE not disabling it). */
+    bool schedIndexed_ = false;
 
     WaiterRing channelWaiters_; // FIFO of in-flight ids
 
@@ -422,6 +490,14 @@ class DiskDrive
 
     sim::Tick scaledSeek(std::uint32_t from, std::uint32_t to,
                          bool is_write) const;
+    /**
+     * Admissible positioning lower bound at cylinder distance
+     * @p dist: the scaled read seek with zero rotational wait —
+     * exactly the seek half scaledSeek() computes for that distance,
+     * so it never exceeds what cachedPositioning() can return
+     * (writes only add settle time; rotation only adds wait).
+     */
+    sim::Tick seekLbTicks(std::uint32_t dist) const;
     sim::Tick scaledRotWait(sim::Tick at, const geom::Chs &chs,
                             double azimuth) const;
     /** scaledRotWait with the sector angle already resolved. */

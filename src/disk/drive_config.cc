@@ -54,6 +54,8 @@ DriveSpec::normalize()
                    "drive: concurrency limits must be >= 1");
     sim::simAssert(seekScale >= 0.0 && rotScale >= 0.0,
                    "drive: scale knobs must be non-negative");
+    if (schedWindow == 0)
+        schedWindow = 1;
 }
 
 DriveSpec

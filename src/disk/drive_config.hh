@@ -68,6 +68,14 @@ struct DriveSpec
     /** Scheduling policy and pending-window bound. */
     sched::SchedulerParams sched;
     std::uint32_t schedWindow = 48;
+    /**
+     * Dispatch through the incrementally maintained cylinder index
+     * with admissible lower-bound pruning (selects the byte-identical
+     * pair the exhaustive scan would, in O(priced) oracle calls
+     * instead of O(window x arms)). The IDP_SCHED_PRUNE=0 environment
+     * escape hatch forces the exhaustive path regardless.
+     */
+    bool schedPrune = true;
 
     /**
      * Explicit chassis azimuths (revolutions) for each arm assembly;

@@ -47,6 +47,8 @@ InvariantChecker::fail(const std::string &what)
 InvariantChecker::DiskState &
 InvariantChecker::disk(std::uint32_t dev)
 {
+    if (dev >= disks_.size())
+        disks_.resize(dev + 1);
     return disks_[dev];
 }
 
@@ -97,10 +99,11 @@ InvariantChecker::diskSubmit(std::uint32_t dev, std::uint64_t id,
     }
     DiskState &d = disk(dev);
     ++d.submits;
-    ++d.outstanding[id];
+    OutstandingEntry &e = d.outstanding[id];
+    ++e.count;
     // Completion must be causal vs. the latest submission of this id
     // (a join id can be legitimately re-submitted by RAID-5 RMW).
-    d.earliestDone[id] = now;
+    e.lastSubmit = now;
 }
 
 void
@@ -111,7 +114,7 @@ InvariantChecker::diskComplete(std::uint32_t dev, std::uint64_t id,
     touch(dev, done);
     DiskState &d = disk(dev);
     auto it = d.outstanding.find(id);
-    if (it == d.outstanding.end() || it->second == 0) {
+    if (it == d.outstanding.end() || it->second.count == 0) {
         std::ostringstream os;
         os << "disk " << dev << ": request " << id
            << " completed more times than it was submitted";
@@ -119,21 +122,34 @@ InvariantChecker::diskComplete(std::uint32_t dev, std::uint64_t id,
         return;
     }
     ++d.completions;
-    if (--it->second == 0)
-        d.outstanding.erase(it);
-    auto sub = d.earliestDone.find(id);
-    if (sub != d.earliestDone.end()) {
-        if (done < sub->second + min_service) {
-            std::ostringstream os;
-            os << "disk " << dev << ": request " << id
-               << " completed at " << done
-               << ", before submit + minimum service ("
-               << sub->second + min_service << ")";
-            fail(os.str());
-        }
-        if (d.outstanding.find(id) == d.outstanding.end())
-            d.earliestDone.erase(sub);
+    if (done < it->second.lastSubmit + min_service) {
+        std::ostringstream os;
+        os << "disk " << dev << ": request " << id << " completed at "
+           << done << ", before submit + minimum service ("
+           << it->second.lastSubmit + min_service << ")";
+        fail(os.str());
     }
+    if (--it->second.count == 0)
+        d.outstanding.erase(it);
+}
+
+void
+InvariantChecker::checkSchedChoice(const char *policy,
+                                   std::uint32_t got_slot,
+                                   std::uint32_t got_arm,
+                                   std::uint32_t want_slot,
+                                   std::uint32_t want_arm)
+{
+    ++observations_;
+    if (got_slot == want_slot && got_arm == want_arm)
+        return;
+    std::ostringstream os;
+    os << "sched " << policy << ": pruned scan chose (slot "
+       << got_slot << ", arm " << got_arm
+       << ") but the exhaustive scan chooses (slot " << want_slot
+       << ", arm " << want_arm
+       << ") -- pruning bound or tie-break order is wrong";
+    fail(os.str());
 }
 
 void
@@ -144,6 +160,12 @@ InvariantChecker::checkDiskOccupancy(
     std::uint32_t max_transfers)
 {
     ++observations_;
+    // Hot path: every dispatch and completion passes through here, so
+    // the all-clear case must not touch streams or the heap.
+    if (in_flight == busy_arms && busy_arms <= total_arms &&
+        active_seeks <= max_seeks &&
+        active_transfers <= max_transfers) [[likely]]
+        return;
     std::ostringstream os;
     if (in_flight != busy_arms) {
         os << "disk " << dev << ": " << in_flight
@@ -255,7 +277,8 @@ InvariantChecker::arrayJoin(std::uint64_t join_id, sim::Tick arrival,
 void
 InvariantChecker::finalize()
 {
-    for (const auto &[dev, d] : disks_) {
+    for (std::size_t dev = 0; dev < disks_.size(); ++dev) {
+        const DiskState &d = disks_[dev];
         if (!d.outstanding.empty()) {
             std::ostringstream os;
             os << "disk " << dev << ": " << d.outstanding.size()

@@ -69,6 +69,13 @@ class InvariantChecker
                             std::uint32_t active_transfers,
                             std::uint32_t max_transfers);
 
+    // -- scheduler level ---------------------------------------------
+    /** A sampled pruned-scan pick must equal the exhaustive pick. */
+    void checkSchedChoice(const char *policy, std::uint32_t got_slot,
+                          std::uint32_t got_arm,
+                          std::uint32_t want_slot,
+                          std::uint32_t want_arm);
+
     // -- array level -------------------------------------------------
     void arraySplit(std::uint64_t join_id, sim::Tick arrival,
                     sim::Tick now);
@@ -94,16 +101,21 @@ class InvariantChecker
     std::uint64_t observations() const { return observations_; }
 
   private:
+    struct OutstandingEntry
+    {
+        /** Outstanding submit count (multiset semantics: RAID RMW
+         *  legitimately re-submits a join id to one disk). */
+        std::uint32_t count = 0;
+        /** Latest submit tick of this id: the causality floor a
+         *  completion is checked against. */
+        sim::Tick lastSubmit = 0;
+    };
+
     struct DiskState
     {
-        /** id -> outstanding submit count (multiset semantics: RAID
-         *  RMW legitimately re-submits a join id to one disk). */
-        std::unordered_map<std::uint64_t, std::uint32_t> outstanding;
+        std::unordered_map<std::uint64_t, OutstandingEntry> outstanding;
         std::uint64_t submits = 0;
         std::uint64_t completions = 0;
-        /** arrival ceiling: completions must be causal vs. the latest
-         *  submit of that id. */
-        std::unordered_map<std::uint64_t, sim::Tick> earliestDone;
         sim::Tick lastSeen = 0;
     };
 
@@ -121,7 +133,9 @@ class InvariantChecker
     FailMode mode_;
     std::vector<std::string> violations_;
     std::uint64_t observations_ = 0;
-    std::unordered_map<std::uint32_t, DiskState> disks_;
+    /** Indexed by dev (DiskDrive::telemetryId — dense array indices);
+     *  grown on first touch. */
+    std::vector<DiskState> disks_;
     std::unordered_map<std::uint64_t, JoinState> joins_;
     std::uint64_t joinsCreated_ = 0;
     std::uint64_t joinsCompleted_ = 0;

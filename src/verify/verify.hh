@@ -100,6 +100,26 @@ onDiskOccupancy(std::uint32_t dev, std::size_t in_flight,
 }
 
 // ---------------------------------------------------------------
+// Scheduler hooks
+// ---------------------------------------------------------------
+
+/**
+ * A pruned (indexed) scheduler selection, sampled and re-derived with
+ * the exhaustive reference scan: the two picks must be identical —
+ * the pruning bounds are admissible and the tie-break order is
+ * preserved by construction, so any divergence is a bug.
+ */
+inline void
+onSchedChoice(const char *policy, std::uint32_t got_slot,
+              std::uint32_t got_arm, std::uint32_t want_slot,
+              std::uint32_t want_arm)
+{
+    if (InvariantChecker *vc = activeChecker())
+        vc->checkSchedChoice(policy, got_slot, got_arm, want_slot,
+                             want_arm);
+}
+
+// ---------------------------------------------------------------
 // Array-level hooks (RAID split/join accounting)
 // ---------------------------------------------------------------
 

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Diff two idp-bench-v1 reports.
+
+Usage: tools/bench_diff.py OLD.json NEW.json [--threshold PCT]
+
+Prints a per-metric table of old/new values with absolute and
+relative deltas, and flags metrics that appear in only one report.
+Exits 0 always unless --threshold is given, in which case it exits 1
+when any shared metric moved by more than PCT percent (useful as a
+soft CI tripwire on perf-trajectory reports).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "idp-bench-v1":
+        sys.exit(f"{path}: not an idp-bench-v1 report "
+                 f"(schema={doc.get('schema')!r})")
+    metrics = {}
+    for m in doc.get("metrics", []):
+        metrics[m["name"]] = (float(m["value"]), m.get("unit", ""))
+    return doc.get("bench", "?"), metrics
+
+
+def fmt(v):
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e5 or abs(v) < 1e-3:
+        return f"{v:.4g}"
+    return f"{v:.4f}".rstrip("0").rstrip(".")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="exit 1 if any shared metric moves more "
+                         "than this many percent")
+    args = ap.parse_args()
+
+    old_bench, old = load(args.old)
+    new_bench, new = load(args.new)
+    if old_bench != new_bench:
+        print(f"note: comparing different benches "
+              f"({old_bench!r} vs {new_bench!r})")
+
+    names = sorted(set(old) | set(new))
+    width = max((len(n) for n in names), default=4)
+    print(f"{'metric':<{width}}  {'old':>12}  {'new':>12}  "
+          f"{'delta':>12}  {'%':>8}")
+
+    tripped = []
+    for name in names:
+        if name not in old:
+            value, unit = new[name]
+            print(f"{name:<{width}}  {'-':>12}  {fmt(value):>12}  "
+                  f"{'added':>12}  {'':>8}  {unit}")
+            continue
+        if name not in new:
+            value, unit = old[name]
+            print(f"{name:<{width}}  {fmt(value):>12}  {'-':>12}  "
+                  f"{'removed':>12}  {'':>8}  {unit}")
+            continue
+        ov, unit = old[name]
+        nv, _ = new[name]
+        delta = nv - ov
+        if ov != 0:
+            pct = delta / ov * 100.0
+        else:
+            pct = 0.0 if delta == 0 else float("inf")
+        pct_s = f"{pct:+.1f}" if pct != float("inf") else "inf"
+        print(f"{name:<{width}}  {fmt(ov):>12}  {fmt(nv):>12}  "
+              f"{fmt(delta):>12}  {pct_s:>8}  {unit}")
+        if args.threshold is not None and abs(pct) > args.threshold:
+            tripped.append((name, pct))
+
+    if tripped:
+        print(f"\n{len(tripped)} metric(s) moved more than "
+              f"{args.threshold}%:")
+        for name, pct in tripped:
+            print(f"  {name}: {pct:+.1f}%")
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
