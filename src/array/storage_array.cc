@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "array/array_bridge.hh"
 #include "sim/logging.hh"
 #include "telemetry/telemetry.hh"
 #include "verify/verify.hh"
@@ -12,8 +13,10 @@ namespace array {
 
 StorageArray::StorageArray(sim::Simulator &simul,
                            const ArrayParams &params,
-                           LogicalCompletionFn on_complete)
-    : sim_(simul), params_(params), onComplete_(std::move(on_complete))
+                           LogicalCompletionFn on_complete,
+                           ArrayBridge *bridge)
+    : sim_(simul), params_(params),
+      onComplete_(std::move(on_complete)), bridge_(bridge)
 {
     sim::simAssert(params_.disks >= 1, "array: needs at least one disk");
     if (params_.layout == Layout::Raid1)
@@ -25,18 +28,38 @@ StorageArray::StorageArray(sim::Simulator &simul,
     if (params_.layout == Layout::Concat)
         sim::simAssert(params_.disks == 1,
                        "array: Concat maps everything onto one disk");
+    // A PDES run is open loop: a completion callback would submit new
+    // work from the array phase, inside the current window.
+    if (bridge_ != nullptr)
+        sim::simAssert(onComplete_ == nullptr,
+                       "array: completion callback is incompatible "
+                       "with a PDES bridge");
 
     if (params_.useBus)
-        bus_ = std::make_unique<bus::Bus>(sim_, params_.bus);
+        bus_ = std::make_unique<bus::Bus>(
+            bridge_ ? bridge_->arrayPhaseSim() : sim_, params_.bus);
 
     disks_.reserve(params_.disks);
     for (std::uint32_t i = 0; i < params_.disks; ++i) {
-        disks_.push_back(std::make_unique<disk::DiskDrive>(
-            sim_, params_.drive,
-            [this](const workload::IoRequest &req, sim::Tick done,
-                   const disk::ServiceInfo &info) {
+        disk::CompletionFn complete;
+        if (bridge_) {
+            // Drive completions are captured on the drive's worker and
+            // replayed in (tick, drive, sequence) merge order later.
+            complete = [this, i](const workload::IoRequest &req,
+                                 sim::Tick done,
+                                 const disk::ServiceInfo &info) {
+                bridge_->complete(i, req, done, info);
+            };
+        } else {
+            complete = [this](const workload::IoRequest &req,
+                              sim::Tick done,
+                              const disk::ServiceInfo &info) {
                 onSubComplete(req, done, info);
-            }));
+            };
+        }
+        disks_.push_back(std::make_unique<disk::DiskDrive>(
+            bridge_ ? bridge_->driveSim(i) : sim_, params_.drive,
+            std::move(complete)));
         disks_.back()->setTelemetryId(i);
     }
     ctrLogical_ = telemetry::counterHandle("array.logical_requests");
@@ -128,12 +151,18 @@ StorageArray::idle() const
     return true;
 }
 
+sim::Tick
+StorageArray::tnow() const
+{
+    return bridge_ ? bridge_->now() : sim_.now();
+}
+
 void
 StorageArray::submitSub(std::uint32_t disk_idx, workload::IoRequest sub,
                         std::uint64_t join_id)
 {
     sub.id = join_id;
-    sub.arrival = sim_.now();
+    sub.arrival = tnow();
     // Defensive clamp: keep every access within the physical disk.
     if (sub.lba + sub.sectors > diskSectors_) {
         if (sub.sectors >= diskSectors_)
@@ -143,13 +172,59 @@ StorageArray::submitSub(std::uint32_t disk_idx, workload::IoRequest sub,
     telemetry::bump(ctrSubs_);
     verify::onArraySub(join_id);
     if (bus_ && !sub.isRead) {
+        if (bridge_) {
+            if (!bridge_->inArrayPhase()) {
+                // Coordinator phase: stage the booking onto the
+                // array-phase calendar so channel occupancy interleaves
+                // with completion-driven transfers in global tick
+                // order. Staged at tnow(), it gets a smaller sequence
+                // than any same-tick completion replay scheduled later.
+                bridge_->arrayPhaseSim().schedule(
+                    tnow(), [this, disk_idx, sub] {
+                        replayBusWrite(disk_idx, sub);
+                    });
+            } else {
+                replayBusWrite(disk_idx, sub);
+            }
+            return;
+        }
         // Writes move their data over the interconnect first.
         bus_->transfer(sub.bytes(), join_id, [this, disk_idx, sub] {
             disks_[disk_idx]->submit(sub);
         });
         return;
     }
+    if (bridge_) {
+        bridge_->deliver(disk_idx, sub, tnow());
+        return;
+    }
     disks_[disk_idx]->submit(sub);
+}
+
+void
+StorageArray::replayBusWrite(std::uint32_t disk_idx,
+                             const workload::IoRequest &sub)
+{
+    // The booked completion tick lies at least one lookahead window
+    // ahead (bus minimum latency), so the inbox delivery is always
+    // beyond the current horizon — no event needed on this calendar.
+    const sim::Tick done = bus_->transferBooked(sub.bytes(), sub.id);
+    bridge_->deliver(disk_idx, sub, done);
+}
+
+void
+StorageArray::injectSub(std::uint32_t disk_idx,
+                        const workload::IoRequest &sub)
+{
+    disks_[disk_idx]->submit(sub);
+}
+
+void
+StorageArray::replaySubComplete(const workload::IoRequest &sub,
+                                sim::Tick done,
+                                const disk::ServiceInfo &info)
+{
+    onSubComplete(sub, done, info);
 }
 
 void
@@ -160,10 +235,10 @@ StorageArray::submit(const workload::IoRequest &req)
     // Fan-out marker; sub-request spans carry the join id instead of
     // the logical id, so the instant ties the two id spaces together.
     telemetry::emitInstant(req.id, telemetry::SpanKind::RaidSplit,
-                           sim_.now(),
+                           tnow(),
                            static_cast<std::uint32_t>(nextJoinId_));
     const std::uint64_t join_id = nextJoinId_++;
-    verify::onArraySplit(join_id, req.arrival, sim_.now());
+    verify::onArraySplit(join_id, req.arrival, tnow());
     Join join;
     join.logical = req;
     join.remaining = 0;
@@ -378,11 +453,13 @@ StorageArray::onSubComplete(const workload::IoRequest &sub,
         stats_.rotHist.add(rot_ms);
     }
     if (bus_ && sub.isRead) {
-        // Read data returns to the host over the interconnect.
+        // Read data returns to the host over the interconnect. Under
+        // PDES this runs on the array-phase calendar (the bus's own),
+        // so the event-ful transfer stays correct there too.
         const std::uint64_t join_id = sub.id;
         const std::uint64_t bytes = sub.bytes();
         bus_->transfer(bytes, join_id, [this, join_id] {
-            finishSub(join_id, sim_.now());
+            finishSub(join_id, tnow());
         });
         return;
     }

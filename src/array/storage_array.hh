@@ -37,6 +37,8 @@
 namespace idp {
 namespace array {
 
+class ArrayBridge;
+
 /** Data layout across the array's disks. */
 enum class Layout
 {
@@ -92,8 +94,16 @@ struct ArrayStats
 class StorageArray
 {
   public:
+    /**
+     * @p bridge is null for serial runs (everything on @p simul). A
+     * PDES run passes its engine: member drives are then built on the
+     * bridge's per-drive calendars, the bus on its array-phase
+     * calendar, and @p simul is the coordinator calendar the workload
+     * feed schedules on.
+     */
     StorageArray(sim::Simulator &simul, const ArrayParams &params,
-                 LogicalCompletionFn on_complete = nullptr);
+                 LogicalCompletionFn on_complete = nullptr,
+                 ArrayBridge *bridge = nullptr);
 
     /** Submit a logical request at the current simulated time. */
     void submit(const workload::IoRequest &req);
@@ -156,6 +166,20 @@ class StorageArray
      *  pattern: uses snapshots, safe to call anytime). */
     stats::ModeTimes modeTimesSnapshot() const;
 
+    // -- PDES engine entry points (no-ops without a bridge) ---------
+
+    /** Deliver an inbox sub-request to drive @p disk_idx. Runs on the
+     *  drive's worker with its calendar advanced to the delivery
+     *  tick. */
+    void injectSub(std::uint32_t disk_idx,
+                   const workload::IoRequest &sub);
+
+    /** Replay one drive completion on the array-phase calendar, in
+     *  merge order. */
+    void replaySubComplete(const workload::IoRequest &sub,
+                           sim::Tick done,
+                           const disk::ServiceInfo &info);
+
   private:
     struct Join
     {
@@ -169,6 +193,7 @@ class StorageArray
     sim::Simulator &sim_;
     ArrayParams params_;
     LogicalCompletionFn onComplete_;
+    ArrayBridge *bridge_ = nullptr;
     std::vector<std::unique_ptr<disk::DiskDrive>> disks_;
     std::unique_ptr<bus::Bus> bus_;
     std::vector<std::uint64_t> deviceOffsets_; // Concat layout
@@ -183,8 +208,13 @@ class StorageArray
     telemetry::Counter *ctrLogical_ = nullptr;
     telemetry::Counter *ctrSubs_ = nullptr;
 
+    /** Clock of whichever phase is executing (sim_ when serial). */
+    sim::Tick tnow() const;
     void submitSub(std::uint32_t disk_idx, workload::IoRequest sub,
                    std::uint64_t join_id);
+    /** Book a staged write's bus movement and queue its delivery. */
+    void replayBusWrite(std::uint32_t disk_idx,
+                        const workload::IoRequest &sub);
     void onSubComplete(const workload::IoRequest &sub, sim::Tick done,
                        const disk::ServiceInfo &info);
     void finishSub(std::uint64_t join_id, sim::Tick done);

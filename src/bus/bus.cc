@@ -21,12 +21,18 @@ Bus::Bus(sim::Simulator &simul, const BusParams &params)
 }
 
 sim::Tick
-Bus::transferTicks(std::uint64_t bytes) const
+Bus::minTransferTicks(const BusParams &params, std::uint64_t bytes)
 {
     const double secs =
-        static_cast<double>(bytes) / (params_.bandwidthMBps * 1e6);
+        static_cast<double>(bytes) / (params.bandwidthMBps * 1e6);
     return sim::secondsToTicks(secs) +
-        sim::msToTicks(params_.perTransferOverheadMs);
+        sim::msToTicks(params.perTransferOverheadMs);
+}
+
+sim::Tick
+Bus::transferTicks(std::uint64_t bytes) const
+{
+    return minTransferTicks(params_, bytes);
 }
 
 void
@@ -35,9 +41,8 @@ Bus::transfer(std::uint64_t bytes, std::function<void()> done)
     transfer(bytes, 0, std::move(done));
 }
 
-void
-Bus::transfer(std::uint64_t bytes, std::uint64_t request_id,
-              std::function<void()> done)
+sim::Tick
+Bus::transferBooked(std::uint64_t bytes, std::uint64_t request_id)
 {
     const sim::Tick now = sim_.now();
     // Least-backlogged channel; FIFO within the channel falls out of
@@ -57,7 +62,14 @@ Bus::transfer(std::uint64_t bytes, std::uint64_t request_id,
     telemetry::bump(ctrBytes_, bytes);
     // Span covers channel wait plus the movement itself.
     telemetry::emitSpan(request_id, telemetry::SpanKind::Bus, now, end);
+    return end;
+}
 
+void
+Bus::transfer(std::uint64_t bytes, std::uint64_t request_id,
+              std::function<void()> done)
+{
+    const sim::Tick end = transferBooked(bytes, request_id);
     sim_.schedule(end, std::move(done));
 }
 

@@ -85,8 +85,25 @@ class Bus
     void transfer(std::uint64_t bytes, std::uint64_t request_id,
                   std::function<void()> done);
 
+    /**
+     * Book a transfer and return its completion tick without
+     * scheduling any event. The PDES engine uses this for writes whose
+     * delivery lands beyond the current synchronization horizon: the
+     * engine queues the delivery into the target drive's inbox itself,
+     * so an event on this calendar would fire a round too late.
+     * Channel accounting, stats and telemetry match transfer() exactly.
+     */
+    sim::Tick transferBooked(std::uint64_t bytes,
+                             std::uint64_t request_id);
+
     /** Duration one transfer of @p bytes occupies a channel. */
     sim::Tick transferTicks(std::uint64_t bytes) const;
+
+    /** transferTicks for a parameter set, without a Bus instance —
+     *  the PDES lookahead derivation needs the minimum (one-sector)
+     *  transfer latency before any simulator exists. */
+    static sim::Tick minTransferTicks(const BusParams &params,
+                                      std::uint64_t bytes);
 
     /** Utilization of the whole bus over the observed horizon. */
     double utilization() const;

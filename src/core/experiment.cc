@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "exec/pdes.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "telemetry/telemetry.hh"
@@ -116,8 +117,20 @@ runTrace(const workload::Trace &trace, const SystemConfig &config,
             std::make_unique<verify::VerifyScope>(checker.get());
     }
 
-    sim::Simulator simul;
-    array::StorageArray arr(simul, config.array);
+    // Conservative intra-run PDES: opt-in per config or environment.
+    // The serial path below stays untouched when disabled.
+    const exec::PdesOptions pdes =
+        exec::PdesOptions::resolve(config.pdesWorkers);
+    std::unique_ptr<exec::PdesRun> prun;
+    if (pdes.enabled)
+        prun = std::make_unique<exec::PdesRun>(
+            config.array, pdes.workers, trace_options);
+
+    sim::Simulator serial_sim;
+    sim::Simulator &simul = prun ? prun->coordSim() : serial_sim;
+    array::StorageArray arr(simul, config.array, nullptr, prun.get());
+    if (prun)
+        prun->setArray(&arr);
 
     // Feed arrivals incrementally so the event queue stays small even
     // for multi-million-request traces.
@@ -130,7 +143,11 @@ runTrace(const workload::Trace &trace, const SystemConfig &config,
         arr.submit(req);
     };
     simul.schedule(trace.front().arrival, feed);
-    simul.run();
+    if (prun)
+        prun->run();
+    else
+        simul.run();
+    const sim::Tick end_tick = prun ? prun->endTick() : simul.now();
 
     sim::simAssert(arr.idle(), "runTrace: array not drained");
     sim::simAssert(arr.stats().logicalCompletions == trace.size(),
@@ -143,7 +160,7 @@ runTrace(const workload::Trace &trace, const SystemConfig &config,
     result.system = config.name;
     result.requests = trace.size();
     result.completions = arr.stats().logicalCompletions;
-    result.wallSeconds = sim::ticksToSeconds(simul.now());
+    result.wallSeconds = sim::ticksToSeconds(end_tick);
     result.responseHist = arr.stats().responseHist;
     result.rotHist = arr.stats().rotHist;
     result.meanResponseMs = arr.stats().responseMs.mean();
@@ -170,19 +187,32 @@ runTrace(const workload::Trace &trace, const SystemConfig &config,
         : 0.0;
 
     if (registry) {
-        // Event-kernel health gauges join the module counters.
-        registry->setGauge("sim.events_fired",
-                           static_cast<double>(simul.eventsFired()));
-        registry->setGauge("sim.peak_pending",
-                           static_cast<double>(simul.peakPending()));
+        // Event-kernel health gauges join the module counters. Under
+        // PDES they aggregate over every calendar: the totals differ
+        // from the serial single-calendar numbers by the replay/
+        // delivery mechanics (and deliberately so) — module counters
+        // and all statistics above are mode-independent.
+        registry->setGauge(
+            "sim.events_fired",
+            static_cast<double>(prun ? prun->eventsFired()
+                                     : simul.eventsFired()));
+        registry->setGauge(
+            "sim.peak_pending",
+            static_cast<double>(prun ? prun->peakPending()
+                                     : simul.peakPending()));
         registry->setGauge(
             "sim.events_cancelled",
-            static_cast<double>(simul.eventsCancelled()));
+            static_cast<double>(prun ? prun->eventsCancelled()
+                                     : simul.eventsCancelled()));
+        if (prun)
+            registry->setGauge(
+                "sim.pdes_rounds",
+                static_cast<double>(prun->rounds()));
         result.metrics = registry->snapshot();
     }
     if (tracer)
         result.trace = std::make_shared<const telemetry::TraceData>(
-            tracer->finish());
+            prun ? prun->mergedTrace(*tracer) : tracer->finish());
     return result;
 }
 

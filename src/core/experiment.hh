@@ -43,6 +43,14 @@ struct SystemConfig
 {
     std::string name;
     array::ArrayParams array;
+    /**
+     * Intra-run PDES control for runTrace: < 0 (default) follows the
+     * IDP_PDES / IDP_PDES_WORKERS environment, 0 forces the serial
+     * event loop, > 0 forces PDES with that many workers. Results are
+     * byte-identical either way; unsupported configurations (see
+     * exec::pdesUnsupportedReason) fail fast when PDES is requested.
+     */
+    int pdesWorkers = -1;
 };
 
 /** Per-device sector count used for Concat offsets, from Table 2. */

@@ -1,0 +1,361 @@
+#include "exec/pdes.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bus/bus.hh"
+#include "exec/sweep_runner.hh"
+#include "geom/geometry.hh"
+#include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
+#include "verify/verify.hh"
+
+namespace idp {
+namespace exec {
+
+PdesOptions
+PdesOptions::resolve(int override_workers)
+{
+    PdesOptions opts;
+    if (override_workers == 0)
+        return opts;
+    if (override_workers > 0) {
+        opts.enabled = true;
+        opts.workers = static_cast<unsigned>(override_workers);
+        return opts;
+    }
+    const char *env = std::getenv("IDP_PDES");
+    if (env == nullptr || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "off") == 0 || std::strcmp(env, "false") == 0)
+        return opts;
+    opts.enabled = true;
+    unsigned workers = 0;
+    if (const char *w = std::getenv("IDP_PDES_WORKERS")) {
+        const long v = std::atol(w);
+        if (v > 0)
+            workers = static_cast<unsigned>(v);
+        else
+            sim::warnOnce(
+                "IDP_PDES_WORKERS ignored (not a positive integer)");
+    }
+    opts.workers = workers != 0 ? workers : configuredThreads();
+    return opts;
+}
+
+sim::Tick
+pdesLookahead(const array::ArrayParams &params)
+{
+    if (params.layout == array::Layout::Raid1)
+        return 0;
+    if (params.useBus) {
+        // Every completion->submission feedback path (read returns,
+        // deferred RMW writes, staged host writes) crosses the bus,
+        // and every bus movement carries at least one sector — so the
+        // one-sector transfer latency bounds the feedback from below.
+        return bus::Bus::minTransferTicks(params.bus,
+                                          geom::kSectorBytes);
+    }
+    if (params.layout == array::Layout::Raid5)
+        return 0;
+    // Open-loop fan-out with no bus: completions never influence any
+    // future submission, so drives are fully independent.
+    return sim::kTickNever;
+}
+
+const char *
+pdesUnsupportedReason(const array::ArrayParams &params)
+{
+    if (params.layout == array::Layout::Raid1)
+        return "RAID-1 read routing consults live replica queue "
+               "depths, which admits no conservative lookahead window";
+    if (pdesLookahead(params) == 0)
+        return "zero-lookahead spec: a completion can feed back into "
+               "a submission with no minimum cross-drive latency "
+               "(RAID-5 read-modify-write needs useBus with a "
+               "positive transfer latency)";
+    return nullptr;
+}
+
+PdesRun::PdesRun(const array::ArrayParams &params, unsigned workers,
+                 const telemetry::TraceOptions &trace_options)
+{
+    if (const char *why = pdesUnsupportedReason(params))
+        sim::fatal(std::string("pdes: ") + why);
+    lookahead_ = pdesLookahead(params);
+
+    coordSim_.setVerifyDomain(0);
+    arraySim_.setVerifyDomain(1);
+    driveSims_.reserve(params.disks);
+    for (std::uint32_t i = 0; i < params.disks; ++i) {
+        driveSims_.push_back(std::make_unique<sim::Simulator>());
+        driveSims_.back()->setVerifyDomain(2 + i);
+    }
+    inbox_.resize(params.disks);
+    outbox_.resize(params.disks);
+    // More workers than drives cannot help: windows are per drive.
+    workers_ = std::max(1u, std::min(workers, params.disks));
+
+    if (telemetry::kCompiledIn && trace_options.enabled) {
+        driveTracers_.reserve(params.disks);
+        for (std::uint32_t i = 0; i < params.disks; ++i)
+            driveTracers_.push_back(
+                std::make_unique<telemetry::Tracer>(trace_options));
+    }
+}
+
+PdesRun::~PdesRun() = default;
+
+void
+PdesRun::deliver(std::uint32_t disk_idx,
+                 const workload::IoRequest &sub, sim::Tick at)
+{
+    // Array-phase deliveries (bus-done writes, deferred RMW) must land
+    // at or beyond the horizon: this round's drive windows have
+    // already run. Coordinator-phase deliveries land inside the
+    // window and are consumed by phase B of the same round.
+    sim::simAssert(!inArrayPhase() ||
+                       (horizon_ != sim::kTickNever && at >= horizon_),
+                   "pdes: delivery behind the synchronization horizon");
+    inbox_[disk_idx].push_back(InItem{at, deliverSeq_++, sub});
+}
+
+void
+PdesRun::complete(std::uint32_t disk_idx,
+                  const workload::IoRequest &sub, sim::Tick done,
+                  const disk::ServiceInfo &info)
+{
+    std::vector<OutRec> &out = outbox_[disk_idx];
+    OutRec rec;
+    rec.done = done;
+    rec.seq = out.size();
+    rec.drive = disk_idx;
+    rec.sub = sub;
+    rec.info = info;
+    out.push_back(rec);
+}
+
+sim::Tick
+PdesRun::nextActivityTick()
+{
+    sim::Tick t = std::min(coordSim_.nextEventTime(),
+                           arraySim_.nextEventTime());
+    for (auto &s : driveSims_)
+        t = std::min(t, s->nextEventTime());
+    for (const auto &in : inbox_)
+        for (const InItem &item : in)
+            t = std::min(t, item.at);
+    return t;
+}
+
+void
+PdesRun::run()
+{
+    sim::simAssert(arr_ != nullptr, "pdes: setArray not called");
+    // Capture the run's thread-local currents once; worker tasks
+    // re-install them so hooks and counters work off-main-thread.
+    checker_ = verify::activeChecker();
+    registry_ = telemetry::activeRegistry();
+    if (checker_) {
+        const auto drives =
+            static_cast<std::uint32_t>(driveSims_.size());
+        checker_->reserveDomains(2 + drives);
+        checker_->reserveDisks(drives);
+    }
+
+    for (;;) {
+        const sim::Tick next_t = nextActivityTick();
+        if (next_t == sim::kTickNever)
+            break;
+        ++rounds_;
+        const sim::Tick h = lookahead_ == sim::kTickNever
+            ? sim::kTickNever
+            : next_t + lookahead_;
+        horizon_ = h;
+
+        // Phase A: coordinator window (workload feed + fan-out).
+        active_ = &coordSim_;
+        coordSim_.runBefore(h);
+
+        // Phase B: per-drive windows, in parallel.
+        runDrives(h);
+
+        // Phase C: merge completions onto the array-phase calendar.
+        active_ = &arraySim_;
+        mergePhase(h);
+        active_ = &coordSim_;
+    }
+    finishRun();
+}
+
+void
+PdesRun::runDrives(sim::Tick horizon)
+{
+    busy_.clear();
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(driveSims_.size()); ++i) {
+        bool has = driveSims_[i]->nextEventTime() < horizon;
+        if (!has)
+            for (const InItem &item : inbox_[i])
+                if (item.at < horizon) {
+                    has = true;
+                    break;
+                }
+        if (has)
+            busy_.push_back(i);
+    }
+    if (busy_.empty())
+        return;
+    if (workers_ <= 1 || busy_.size() == 1) {
+        // Not enough parallel work to pay for a hand-off.
+        for (std::uint32_t i : busy_)
+            driveWindowTask(i, horizon);
+        return;
+    }
+    if (!pool_)
+        pool_ = std::make_unique<ThreadPool>(workers_);
+    for (std::uint32_t i : busy_)
+        pool_->submit([this, i, horizon] {
+            driveWindowTask(i, horizon);
+        });
+    pool_->wait();
+}
+
+void
+PdesRun::driveWindowTask(std::uint32_t i, sim::Tick horizon)
+{
+    // The thread-local currents (checker / registry / tracer) belong
+    // to the thread that started the run; install them for this
+    // window so the drive's hooks observe the same run. Each drive
+    // writes its spans into its own single-writer ring.
+    verify::VerifyScope verify_scope(checker_);
+    telemetry::RegistryScope registry_scope(registry_);
+    telemetry::TraceScope trace_scope(
+        driveTracers_.empty() ? nullptr : driveTracers_[i].get());
+    runDriveWindow(i, horizon);
+}
+
+void
+PdesRun::runDriveWindow(std::uint32_t i, sim::Tick horizon)
+{
+    sim::Simulator &s = *driveSims_[i];
+    std::vector<InItem> &in = inbox_[i];
+    // Deliveries apply in (tick, issue sequence) order, each one after
+    // the drive's events strictly before its tick — exactly where the
+    // serial calendar would have run the submitting event.
+    std::sort(in.begin(), in.end(),
+              [](const InItem &a, const InItem &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  return a.seq < b.seq;
+              });
+    std::size_t taken = 0;
+    while (taken < in.size() && in[taken].at < horizon) {
+        const InItem item = in[taken];
+        ++taken;
+        s.runBefore(item.at);
+        s.advanceTo(item.at);
+        arr_->injectSub(i, item.sub);
+    }
+    in.erase(in.begin(),
+             in.begin() + static_cast<std::ptrdiff_t>(taken));
+    s.runBefore(horizon);
+}
+
+void
+PdesRun::mergePhase(sim::Tick horizon)
+{
+    merged_.clear();
+    for (auto &out : outbox_) {
+        merged_.insert(merged_.end(), out.begin(), out.end());
+        out.clear();
+    }
+    std::sort(merged_.begin(), merged_.end(),
+              [](const OutRec &a, const OutRec &b) {
+                  return pdesMergeBefore({a.done, a.drive, a.seq},
+                                         {b.done, b.drive, b.seq});
+              });
+    // Replay events capture only an index: 16 bytes, always inline in
+    // the calendar slab — no per-completion allocation.
+    for (std::size_t i = 0; i < merged_.size(); ++i)
+        arraySim_.schedule(merged_[i].done, [this, i] {
+            const OutRec &rec = merged_[i];
+            arr_->replaySubComplete(rec.sub, rec.done, rec.info);
+        });
+    arraySim_.runBefore(horizon);
+}
+
+void
+PdesRun::finishRun()
+{
+    for (std::size_t i = 0; i < inbox_.size(); ++i) {
+        sim::simAssert(inbox_[i].empty(),
+                       "pdes: undelivered inbox items at drain");
+        sim::simAssert(outbox_[i].empty(),
+                       "pdes: unmerged completions at drain");
+    }
+    // Equalize every calendar on the run's last fired tick, so
+    // mode-time/power integration closes at the same instant the
+    // serial path's single calendar would.
+    sim::Tick end = std::max(coordSim_.now(), arraySim_.now());
+    for (auto &s : driveSims_)
+        end = std::max(end, s->now());
+    endTick_ = end;
+    coordSim_.advanceTo(end);
+    arraySim_.advanceTo(end);
+    for (auto &s : driveSims_)
+        s->advanceTo(end);
+}
+
+std::uint64_t
+PdesRun::eventsFired() const
+{
+    std::uint64_t total =
+        coordSim_.eventsFired() + arraySim_.eventsFired();
+    for (const auto &s : driveSims_)
+        total += s->eventsFired();
+    return total;
+}
+
+std::uint64_t
+PdesRun::eventsCancelled() const
+{
+    std::uint64_t total =
+        coordSim_.eventsCancelled() + arraySim_.eventsCancelled();
+    for (const auto &s : driveSims_)
+        total += s->eventsCancelled();
+    return total;
+}
+
+std::size_t
+PdesRun::peakPending() const
+{
+    std::size_t peak =
+        std::max(coordSim_.peakPending(), arraySim_.peakPending());
+    for (const auto &s : driveSims_)
+        peak = std::max(peak, s->peakPending());
+    return peak;
+}
+
+telemetry::TraceData
+PdesRun::mergedTrace(const telemetry::Tracer &main) const
+{
+    telemetry::TraceData total = main.finish();
+    // Drive rings append in drive-id order; phase totals sum. The
+    // merged product is deterministic at any worker count.
+    for (const auto &tracer : driveTracers_) {
+        telemetry::TraceData d = tracer->finish();
+        total.spans.insert(total.spans.end(), d.spans.begin(),
+                           d.spans.end());
+        total.dropped += d.dropped;
+        for (std::size_t k = 0; k < total.phases.size(); ++k) {
+            total.phases[k].count += d.phases[k].count;
+            total.phases[k].ticks += d.phases[k].ticks;
+        }
+    }
+    return total;
+}
+
+} // namespace exec
+} // namespace idp

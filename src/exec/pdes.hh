@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Conservative (lookahead-window) parallel discrete-event simulation
+ * of one storage-array run.
+ *
+ * The array is split into calendars: one coordinator (workload feed +
+ * RAID fan-out), one per member drive, and one array-phase calendar
+ * that replays drive completions and runs the bus. Drives interact
+ * only through the array/bus layer, whose minimum cross-disk latency
+ * L is known from the configuration — so every calendar may safely
+ * simulate the window [T, T+L) in parallel, where T is the earliest
+ * pending activity anywhere (the classic Chandy–Misra–Bryant
+ * argument). Rounds alternate three phases:
+ *
+ *   A. coordinator runs its window serially, routing sub-requests
+ *      into per-drive inbound queues (write bus movements are staged
+ *      onto the array-phase calendar so channel occupancy stays in
+ *      global tick order);
+ *   B. every drive with work runs its window on a ThreadPool worker:
+ *      consume inbox deliveries in (tick, sequence) order, fire local
+ *      events, append completions to a private outbox — lock-free and
+ *      allocation-free on the drive-local hot path;
+ *   C. the outboxes merge in (tick, drive id, sequence) order onto
+ *      the array-phase calendar, which replays join/bus logic
+ *      serially.
+ *
+ * Determinism: phases B's calendars are disjoint, the merge order is
+ * a total order independent of thread scheduling, and per-drive span
+ * rings merge in drive-id order — so results are byte-identical at
+ * any worker count, and (up to same-tick cross-calendar ties that the
+ * tick resolution makes vanishingly rare) identical to the serial
+ * path. Open-loop fan-outs with no bus have no completion feedback at
+ * all: lookahead is infinite and the whole run is a single round of
+ * full drive parallelism.
+ *
+ * Configurations with a zero-latency feedback path (RAID-5
+ * read-modify-write without a bus, RAID-1's live queue-depth read
+ * routing) admit no conservative window and are rejected up front
+ * with a clear error — see pdesUnsupportedReason().
+ */
+
+#ifndef IDP_EXEC_PDES_HH
+#define IDP_EXEC_PDES_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "array/array_bridge.hh"
+#include "array/storage_array.hh"
+#include "disk/disk_drive.hh"
+#include "exec/thread_pool.hh"
+#include "sim/event_queue.hh"
+#include "telemetry/tracer.hh"
+#include "verify/invariant_checker.hh"
+#include "workload/request.hh"
+
+namespace idp {
+namespace exec {
+
+/** Resolved PDES controls for one run. */
+struct PdesOptions
+{
+    bool enabled = false;
+    unsigned workers = 1;
+
+    /**
+     * Resolve from a programmatic override and the environment:
+     * @p override_workers < 0 follows IDP_PDES (off unless set to a
+     * truthy value; worker count from IDP_PDES_WORKERS, else
+     * configuredThreads()); 0 forces the serial path; > 0 forces PDES
+     * with that many workers.
+     */
+    static PdesOptions resolve(int override_workers);
+};
+
+/**
+ * Conservative lookahead window for @p params, in ticks: the minimum
+ * latency of any completion->submission feedback path between drives.
+ * kTickNever when no such path exists (open-loop fan-out without a
+ * bus); 0 when a zero-latency path makes PDES inadmissible.
+ */
+sim::Tick pdesLookahead(const array::ArrayParams &params);
+
+/** Why @p params cannot run under PDES, or nullptr if they can. */
+const char *pdesUnsupportedReason(const array::ArrayParams &params);
+
+/** Merge key at a synchronization horizon: completions replay in
+ *  (tick, drive id, per-drive sequence) order. */
+struct PdesCompletionKey
+{
+    sim::Tick tick = 0;
+    std::uint32_t drive = 0;
+    std::uint64_t seq = 0;
+};
+
+/** Strict total order of the horizon merge. */
+inline bool
+pdesMergeBefore(const PdesCompletionKey &a, const PdesCompletionKey &b)
+{
+    if (a.tick != b.tick)
+        return a.tick < b.tick;
+    if (a.drive != b.drive)
+        return a.drive < b.drive;
+    return a.seq < b.seq;
+}
+
+/**
+ * One PDES run. Lifecycle:
+ *
+ *   PdesRun prun(params, workers, topts);
+ *   array::StorageArray arr(prun.coordSim(), params, nullptr, &prun);
+ *   prun.setArray(&arr);
+ *   ... schedule the workload feed on prun.coordSim() ...
+ *   prun.run();
+ *
+ * After run(), every calendar sits at endTick() — the same tick the
+ * serial path's single calendar would end at — so downstream power /
+ * mode-time integration closes identically.
+ */
+class PdesRun final : public array::ArrayBridge
+{
+  public:
+    PdesRun(const array::ArrayParams &params, unsigned workers,
+            const telemetry::TraceOptions &trace_options);
+    ~PdesRun() override;
+
+    PdesRun(const PdesRun &) = delete;
+    PdesRun &operator=(const PdesRun &) = delete;
+
+    /** The coordinator calendar (schedule the workload feed here). */
+    sim::Simulator &coordSim() { return coordSim_; }
+
+    /** Must be called once, before run(). */
+    void setArray(array::StorageArray *arr) { arr_ = arr; }
+
+    /** Drive the phased rounds until every calendar and queue drains. */
+    void run();
+
+    /** Common final tick of all calendars (valid after run()). */
+    sim::Tick endTick() const { return endTick_; }
+
+    /** Synchronization rounds executed (kTickNever lookahead = 1). */
+    std::uint64_t rounds() const { return rounds_; }
+
+    sim::Tick lookahead() const { return lookahead_; }
+    unsigned workerCount() const { return workers_; }
+
+    /** Kernel gauges summed over every calendar. */
+    std::uint64_t eventsFired() const;
+    std::uint64_t eventsCancelled() const;
+    std::size_t peakPending() const;
+
+    /**
+     * The run's trace: the main tracer's product plus every drive
+     * tracer's, appended in drive-id order with phase totals summed —
+     * deterministic at any worker count.
+     */
+    telemetry::TraceData mergedTrace(const telemetry::Tracer &main) const;
+
+    // -- ArrayBridge ------------------------------------------------
+    sim::Tick now() const override { return active_->now(); }
+    bool inArrayPhase() const override { return active_ == &arraySim_; }
+    sim::Simulator &driveSim(std::uint32_t disk_idx) override
+    {
+        return *driveSims_[disk_idx];
+    }
+    sim::Simulator &arrayPhaseSim() override { return arraySim_; }
+    void deliver(std::uint32_t disk_idx, const workload::IoRequest &sub,
+                 sim::Tick at) override;
+    void complete(std::uint32_t disk_idx, const workload::IoRequest &sub,
+                  sim::Tick done, const disk::ServiceInfo &info) override;
+
+  private:
+    /** Inbound cross-layer delivery, consumed by a drive window in
+     *  (at, seq) order; seq is a global push sequence so same-tick
+     *  deliveries keep their issue order. */
+    struct InItem
+    {
+        sim::Tick at;
+        std::uint64_t seq;
+        workload::IoRequest sub;
+    };
+
+    /** A drive completion awaiting its merge-ordered replay. */
+    struct OutRec
+    {
+        sim::Tick done;
+        std::uint64_t seq; ///< per-drive capture sequence
+        std::uint32_t drive;
+        workload::IoRequest sub;
+        disk::ServiceInfo info;
+    };
+
+    sim::Tick nextActivityTick();
+    void runDrives(sim::Tick horizon);
+    /** Worker entry: installs the run's thread-local currents. */
+    void driveWindowTask(std::uint32_t i, sim::Tick horizon);
+    void runDriveWindow(std::uint32_t i, sim::Tick horizon);
+    void mergePhase(sim::Tick horizon);
+    void finishRun();
+
+    sim::Simulator coordSim_;
+    sim::Simulator arraySim_;
+    std::vector<std::unique_ptr<sim::Simulator>> driveSims_;
+    std::vector<std::vector<InItem>> inbox_;
+    std::vector<std::vector<OutRec>> outbox_;
+    std::vector<OutRec> merged_;
+    /** Per-drive span rings (single-writer each); merged after run. */
+    std::vector<std::unique_ptr<telemetry::Tracer>> driveTracers_;
+    /** Drives with work in the current window (reused each round). */
+    std::vector<std::uint32_t> busy_;
+
+    array::StorageArray *arr_ = nullptr;
+    sim::Simulator *active_ = &coordSim_;
+    sim::Tick lookahead_ = 0;
+    sim::Tick horizon_ = 0;
+    sim::Tick endTick_ = 0;
+    std::uint64_t rounds_ = 0;
+    std::uint64_t deliverSeq_ = 0;
+    unsigned workers_ = 1;
+
+    /** Pool is created on the first round that has >= 2 busy drives;
+     *  private to this run, so pool_->wait() is a safe barrier. */
+    std::unique_ptr<ThreadPool> pool_;
+
+    /** The run's thread-local currents, captured at run() start and
+     *  re-installed inside every worker task. */
+    verify::InvariantChecker *checker_ = nullptr;
+    telemetry::Registry *registry_ = nullptr;
+};
+
+} // namespace exec
+} // namespace idp
+
+#endif // IDP_EXEC_PDES_HH

@@ -145,7 +145,7 @@ Simulator::step()
         }
         simAssert(top.when >= now_,
                   "Simulator::step: time went backwards");
-        verify::onEventFire(now_, top.when);
+        verify::onEventFire(verifyDomain_, now_, top.when);
         // Move the action out and retire the slot before invoking:
         // the handler may schedule (growing the slab) or cancel its
         // own — now stale — id.
@@ -158,6 +158,44 @@ Simulator::step()
         return true;
     }
     return false;
+}
+
+void
+Simulator::purgeCancelled()
+{
+    // step() discards cancelled tops lazily but then fires the first
+    // *live* top unconditionally — so every horizon comparison below
+    // must first strip cancelled entries off the heap top, or a live
+    // event beyond the horizon could fire early.
+    while (!heap_.empty() && slab_[heap_[0].slot].cancelled)
+        releaseSlot(heapPopMin().slot);
+}
+
+Tick
+Simulator::nextEventTime()
+{
+    purgeCancelled();
+    return heap_.empty() ? kTickNever : heap_[0].when;
+}
+
+Tick
+Simulator::runBefore(Tick horizon)
+{
+    while (nextEventTime() < horizon)
+        step();
+    return now_;
+}
+
+void
+Simulator::advanceTo(Tick t)
+{
+    purgeCancelled();
+    simAssert(heap_.empty() || heap_[0].when >= t,
+              "Simulator::advanceTo: pending event behind the target "
+              "time (synchronization horizon passed an undelivered "
+              "event)");
+    if (t > now_)
+        now_ = t;
 }
 
 Tick

@@ -119,6 +119,40 @@ class Simulator
      */
     Tick run(Tick until = kTickNever);
 
+    /**
+     * Fire every event strictly before @p horizon and stop, leaving
+     * the clock at the last fired event (no fast-forward). This is
+     * the conservative-window primitive of the PDES engine: a drive
+     * simulates ahead to the horizon, but its clock never overshoots
+     * real activity, so a cross-drive delivery at any tick >= now()
+     * can still be accepted with advanceTo().
+     * @return the final simulated time.
+     */
+    Tick runBefore(Tick horizon);
+
+    /**
+     * Move the clock forward to @p t without firing anything. Panics
+     * if a pending event lies behind @p t — the structural guarantee
+     * that a synchronization horizon never passes an unreceived
+     * cross-drive event (the delivery would arrive in this calendar's
+     * past).
+     */
+    void advanceTo(Tick t);
+
+    /** Tick of the earliest pending event (kTickNever when drained).
+     *  Lazily discards cancelled entries sitting on the heap top. */
+    Tick nextEventTime();
+
+    /**
+     * Tag this calendar for the invariant checker's per-domain clock
+     * monotonicity tracking. Serial runs keep the default domain 0;
+     * the PDES engine gives the coordinator, the array-phase clock
+     * and every drive their own domain, since their clocks interleave
+     * legitimately at a synchronization horizon.
+     */
+    void setVerifyDomain(std::uint32_t domain) { verifyDomain_ = domain; }
+    std::uint32_t verifyDomain() const { return verifyDomain_; }
+
     /** Fire at most one pending event. @return false if queue was empty. */
     bool step();
 
@@ -176,10 +210,13 @@ class Simulator
     /** Shared schedule prologue: slot, heap entry, pending counters. */
     std::uint32_t prepareSlot(Tick when);
     void releaseSlot(std::uint32_t slot);
+    /** Pop cancelled entries off the heap top (lazy-cancel cleanup). */
+    void purgeCancelled();
     void heapPush(HeapItem item);
     HeapItem heapPopMin();
 
     Tick now_ = 0;
+    std::uint32_t verifyDomain_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t fired_ = 0;
     std::uint64_t cancelledCount_ = 0;

@@ -18,6 +18,7 @@
 #ifndef IDP_TELEMETRY_REGISTRY_HH
 #define IDP_TELEMETRY_REGISTRY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -29,12 +30,22 @@
 namespace idp {
 namespace telemetry {
 
-/** Monotonically increasing event count. */
+/** Monotonically increasing event count. Atomic (relaxed) so PDES
+ *  drive workers bumping shared module counters stay exact; the cost
+ *  on the serial path is one uncontended lock-free RMW. */
 struct Counter
 {
-    std::uint64_t value = 0;
+    std::atomic<std::uint64_t> value{0};
 
-    void inc(std::uint64_t by = 1) { value += by; }
+    void inc(std::uint64_t by = 1)
+    {
+        value.fetch_add(by, std::memory_order_relaxed);
+    }
+
+    std::uint64_t load() const
+    {
+        return value.load(std::memory_order_relaxed);
+    }
 };
 
 /** Point-in-time measurement. */

@@ -84,7 +84,7 @@ inline void
 bump(Counter *counter, std::uint64_t by = 1)
 {
     if (counter)
-        counter->value += by;
+        counter->inc(by);
 }
 
 } // namespace telemetry

@@ -41,7 +41,23 @@ InvariantChecker::fail(const std::string &what)
 {
     if (mode_ == FailMode::Panic)
         sim::panic("invariant violated: " + what);
+    // Record mode may be fed from concurrent PDES drive workers.
+    std::lock_guard<std::mutex> lock(failMutex_);
     violations_.push_back(what);
+}
+
+void
+InvariantChecker::reserveDomains(std::uint32_t domains)
+{
+    if (domains > kernelNow_.size())
+        kernelNow_.resize(domains, 0);
+}
+
+void
+InvariantChecker::reserveDisks(std::uint32_t disks)
+{
+    if (disks > disks_.size())
+        disks_.resize(disks);
 }
 
 InvariantChecker::DiskState &
@@ -66,29 +82,36 @@ InvariantChecker::touch(std::uint32_t dev, sim::Tick now)
 }
 
 void
-InvariantChecker::checkKernelTime(sim::Tick now, sim::Tick when)
+InvariantChecker::checkKernelTime(std::uint32_t domain, sim::Tick now,
+                                  sim::Tick when)
 {
-    ++observations_;
+    observations_.fetch_add(1, std::memory_order_relaxed);
     if (when < now) {
         std::ostringstream os;
         os << "event kernel: firing at " << when
            << " with the clock already at " << now;
         fail(os.str());
     }
-    if (when < kernelNow_) {
+    // Serial runs grow the table lazily (single-threaded); PDES runs
+    // pre-size it with reserveDomains before workers start, and each
+    // calendar's domain is written only from the thread running it.
+    if (domain >= kernelNow_.size())
+        kernelNow_.resize(domain + 1, 0);
+    sim::Tick &domain_now = kernelNow_[domain];
+    if (when < domain_now) {
         std::ostringstream os;
-        os << "event kernel: time ran backwards (" << kernelNow_
-           << " -> " << when << ")";
+        os << "event kernel: time ran backwards in domain " << domain
+           << " (" << domain_now << " -> " << when << ")";
         fail(os.str());
     }
-    kernelNow_ = when;
+    domain_now = when;
 }
 
 void
 InvariantChecker::diskSubmit(std::uint32_t dev, std::uint64_t id,
                              sim::Tick arrival, sim::Tick now)
 {
-    ++observations_;
+    observations_.fetch_add(1, std::memory_order_relaxed);
     touch(dev, now);
     if (arrival > now) {
         std::ostringstream os;
@@ -110,7 +133,7 @@ void
 InvariantChecker::diskComplete(std::uint32_t dev, std::uint64_t id,
                                sim::Tick done, sim::Tick min_service)
 {
-    ++observations_;
+    observations_.fetch_add(1, std::memory_order_relaxed);
     touch(dev, done);
     DiskState &d = disk(dev);
     auto it = d.outstanding.find(id);
@@ -140,7 +163,7 @@ InvariantChecker::checkSchedChoice(const char *policy,
                                    std::uint32_t want_slot,
                                    std::uint32_t want_arm)
 {
-    ++observations_;
+    observations_.fetch_add(1, std::memory_order_relaxed);
     if (got_slot == want_slot && got_arm == want_arm)
         return;
     std::ostringstream os;
@@ -159,7 +182,7 @@ InvariantChecker::checkDiskOccupancy(
     std::uint32_t max_seeks, std::uint32_t active_transfers,
     std::uint32_t max_transfers)
 {
-    ++observations_;
+    observations_.fetch_add(1, std::memory_order_relaxed);
     // Hot path: every dispatch and completion passes through here, so
     // the all-clear case must not touch streams or the heap.
     if (in_flight == busy_arms && busy_arms <= total_arms &&
@@ -193,7 +216,7 @@ void
 InvariantChecker::arraySplit(std::uint64_t join_id, sim::Tick arrival,
                              sim::Tick now)
 {
-    ++observations_;
+    observations_.fetch_add(1, std::memory_order_relaxed);
     if (arrival > now) {
         std::ostringstream os;
         os << "array: join " << join_id
@@ -215,7 +238,7 @@ InvariantChecker::arraySplit(std::uint64_t join_id, sim::Tick arrival,
 void
 InvariantChecker::arraySub(std::uint64_t join_id)
 {
-    ++observations_;
+    observations_.fetch_add(1, std::memory_order_relaxed);
     auto it = joins_.find(join_id);
     if (it == joins_.end() || it->second.joined) {
         std::ostringstream os;
@@ -231,7 +254,7 @@ InvariantChecker::arraySub(std::uint64_t join_id)
 void
 InvariantChecker::arraySubFinish(std::uint64_t join_id, sim::Tick done)
 {
-    ++observations_;
+    observations_.fetch_add(1, std::memory_order_relaxed);
     (void)done;
     auto it = joins_.find(join_id);
     if (it == joins_.end() || it->second.outstanding == 0) {
@@ -248,7 +271,7 @@ void
 InvariantChecker::arrayJoin(std::uint64_t join_id, sim::Tick arrival,
                             sim::Tick done)
 {
-    ++observations_;
+    observations_.fetch_add(1, std::memory_order_relaxed);
     auto it = joins_.find(join_id);
     if (it == joins_.end() || it->second.joined) {
         std::ostringstream os;

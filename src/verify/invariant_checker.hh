@@ -21,7 +21,9 @@
 #ifndef IDP_VERIFY_INVARIANT_CHECKER_HH
 #define IDP_VERIFY_INVARIANT_CHECKER_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,8 +53,21 @@ class InvariantChecker
 
     // -- event kernel ------------------------------------------------
     /** Firing an event at @p when with the clock at @p now must never
-     *  move time backwards. */
-    void checkKernelTime(sim::Tick now, sim::Tick when);
+     *  move time backwards within the calendar's @p domain. Serial
+     *  runs use a single domain 0; a PDES run tags the coordinator,
+     *  array-phase and per-drive calendars with distinct domains,
+     *  because their clocks legitimately interleave at horizons while
+     *  each one stays monotonic on its own. */
+    void checkKernelTime(std::uint32_t domain, sim::Tick now,
+                         sim::Tick when);
+
+    /**
+     * Pre-size the per-domain clock table / per-disk state so that a
+     * PDES run's concurrent hooks never grow a vector under their
+     * feet. Must be called before worker threads start observing.
+     */
+    void reserveDomains(std::uint32_t domains);
+    void reserveDisks(std::uint32_t disks);
 
     // -- disk level --------------------------------------------------
     void diskSubmit(std::uint32_t dev, std::uint64_t id,
@@ -98,7 +113,10 @@ class InvariantChecker
     }
 
     /** Hook invocations observed (cheap liveness probe for tests). */
-    std::uint64_t observations() const { return observations_; }
+    std::uint64_t observations() const
+    {
+        return observations_.load(std::memory_order_relaxed);
+    }
 
   private:
     struct OutstandingEntry
@@ -131,15 +149,23 @@ class InvariantChecker
     void touch(std::uint32_t dev, sim::Tick now);
 
     FailMode mode_;
+    /** Guards violations_ in Record mode: PDES drive workers may
+     *  record concurrently. Panic mode dies on first fail instead. */
+    std::mutex failMutex_;
     std::vector<std::string> violations_;
-    std::uint64_t observations_ = 0;
+    /** Relaxed atomic: exactness (not racy approximation) with
+     *  concurrent PDES workers is asserted by tests/test_pdes.cc. */
+    std::atomic<std::uint64_t> observations_{0};
     /** Indexed by dev (DiskDrive::telemetryId — dense array indices);
-     *  grown on first touch. */
+     *  grown on first touch serially, pre-sized by reserveDisks for
+     *  PDES. Each drive's state is only touched from the calendar
+     *  that owns the drive, so entries need no locks. */
     std::vector<DiskState> disks_;
     std::unordered_map<std::uint64_t, JoinState> joins_;
     std::uint64_t joinsCreated_ = 0;
     std::uint64_t joinsCompleted_ = 0;
-    sim::Tick kernelNow_ = 0;
+    /** Per-domain kernel clocks (see checkKernelTime). */
+    std::vector<sim::Tick> kernelNow_;
 };
 
 /** Installs a checker as this thread's current one (RAII). */

@@ -55,12 +55,13 @@ bool enabledFromEnv();
 // Event-kernel hooks
 // ---------------------------------------------------------------
 
-/** An event is about to fire at @p when with the clock at @p now. */
+/** An event is about to fire at @p when with the calendar tagged
+ *  @p domain (Simulator::verifyDomain) and the clock at @p now. */
 inline void
-onEventFire(sim::Tick now, sim::Tick when)
+onEventFire(std::uint32_t domain, sim::Tick now, sim::Tick when)
 {
     if (InvariantChecker *vc = activeChecker())
-        vc->checkKernelTime(now, when);
+        vc->checkKernelTime(domain, now, when);
 }
 
 // ---------------------------------------------------------------

@@ -94,4 +94,110 @@ TEST(DeterminismGolden, ScenarioIsRunToRunStable)
     EXPECT_EQ(runScenario(), runScenario());
 }
 
+// ---------------------------------------------------------------
+// PDES golden matrix: each scenario below is pinned to one golden
+// file that the serial path (pdesWorkers = 0) and the PDES path at 1
+// and 8 workers must all reproduce byte-for-byte. Catches both
+// cross-PR drift and any serial/parallel or worker-count divergence.
+// ---------------------------------------------------------------
+
+struct PdesScenario
+{
+    const char *golden; ///< path under tests/golden/
+    core::SystemConfig config;
+    std::uint64_t requests;
+};
+
+PdesScenario
+pdesScenario(const std::string &name)
+{
+    if (name == "sa1") {
+        return {"/tests/golden/determinism_pdes_sa1.csv",
+                core::makeRaid0System(
+                    "HC-SD-SA(1)",
+                    disk::makeIntraDiskParallel(disk::barracudaEs750(),
+                                                1),
+                    1),
+                5000};
+    }
+    if (name == "sa4") {
+        return {"/tests/golden/determinism_pdes_sa4.csv",
+                core::makeRaid0System(
+                    "HC-SD-SA(4)",
+                    disk::makeIntraDiskParallel(disk::barracudaEs750(),
+                                                4),
+                    1),
+                5000};
+    }
+    // RAID-5 with the host bus modeled: the finite-lookahead regime,
+    // where windows are bounded by the one-sector bus transfer. Kept
+    // shorter — the run synchronizes every ~12 us of simulated time.
+    core::SystemConfig raid5;
+    raid5.name = "RAID5-4";
+    raid5.array.layout = array::Layout::Raid5;
+    raid5.array.disks = 4;
+    raid5.array.drive = disk::barracudaEs750();
+    raid5.array.useBus = true;
+    return {"/tests/golden/determinism_pdes_raid5.csv", raid5, 1500};
+}
+
+std::string
+runPdesScenario(const PdesScenario &scenario, int pdes_workers)
+{
+    workload::SyntheticParams wp;
+    wp.requests = scenario.requests;
+    wp.meanInterArrivalMs = 2.0;
+    const auto trace = workload::generateSynthetic(wp);
+
+    core::SystemConfig config = scenario.config;
+    config.pdesWorkers = pdes_workers;
+    const std::vector<core::RunResult> results = {
+        core::runTrace(trace, config)};
+
+    std::ostringstream os;
+    core::writeSummaryCsv(os, results);
+    core::writeCdfCsv(os, results);
+    core::writeRotPdfCsv(os, results);
+    return os.str();
+}
+
+class PdesGolden : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PdesGolden, MatrixMatchesGoldenFileAtEveryWorkerCount)
+{
+    const PdesScenario scenario = pdesScenario(GetParam());
+    const std::string path =
+        std::string(IDP_SOURCE_DIR) + scenario.golden;
+
+    const std::string serial = runPdesScenario(scenario, 0);
+
+    if (std::getenv("IDP_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream os(path);
+        ASSERT_TRUE(os) << "cannot write " << path;
+        os << serial;
+        GTEST_SKIP() << "golden file refreshed: " << path;
+    }
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is) << "missing golden file " << path
+                    << " — generate it with IDP_UPDATE_GOLDEN=1";
+    std::stringstream golden;
+    golden << is.rdbuf();
+
+    EXPECT_EQ(golden.str(), serial)
+        << "serial output drifted from " << scenario.golden;
+    EXPECT_EQ(golden.str(), runPdesScenario(scenario, 1))
+        << "PDES(1 worker) diverged from " << scenario.golden;
+    EXPECT_EQ(golden.str(), runPdesScenario(scenario, 8))
+        << "PDES(8 workers) diverged from " << scenario.golden;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, PdesGolden,
+                         testing::Values("sa1", "sa4", "raid5"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
 } // namespace

@@ -29,10 +29,10 @@ using verify::VerifyScope;
 TEST(VerifyChecker, CatchesKernelTimeBackwards)
 {
     InvariantChecker vc(FailMode::Record);
-    vc.checkKernelTime(0, 100);
+    vc.checkKernelTime(0, 0, 100);
     // when >= now, so only the monotonicity check (not the firing-
     // before-clock check) trips.
-    vc.checkKernelTime(50, 60);
+    vc.checkKernelTime(0, 50, 60);
     ASSERT_EQ(vc.violations().size(), 1u);
     EXPECT_NE(vc.violations()[0].find("backwards"), std::string::npos);
 }
@@ -40,7 +40,7 @@ TEST(VerifyChecker, CatchesKernelTimeBackwards)
 TEST(VerifyChecker, CatchesEventFiringBeforeClock)
 {
     InvariantChecker vc(FailMode::Record);
-    vc.checkKernelTime(50, 40);
+    vc.checkKernelTime(0, 50, 40);
     ASSERT_EQ(vc.violations().size(), 1u);
     EXPECT_NE(vc.violations()[0].find("clock"), std::string::npos);
 }
