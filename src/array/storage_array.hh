@@ -131,6 +131,19 @@ class StorageArray
         stats_.rotMs.seal();
     }
 
+    /**
+     * Pre-reserve the response/rotation sample buffers to their full
+     * reservoir capacity (~12 MB). Long-lived serving loops pay this
+     * once up front so completion-path ingestion never reallocates in
+     * steady state; batch sweeps skip it (many concurrent short runs
+     * would multiply the fixed cost).
+     */
+    void reserveStatsCapacity()
+    {
+        stats_.responseMs.reserve(~std::size_t(0));
+        stats_.rotMs.reserve(~std::size_t(0));
+    }
+
     /** Logical capacity exposed by the layout, in sectors. */
     std::uint64_t logicalSectors() const { return logicalSectors_; }
 

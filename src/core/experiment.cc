@@ -236,5 +236,27 @@ benchRequestCount(std::uint64_t default_requests)
         1000, static_cast<std::uint64_t>(scaled));
 }
 
+std::uint64_t
+envOverrideU64(const char *name, std::uint64_t def)
+{
+    if (const char *env = std::getenv(name)) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            return static_cast<std::uint64_t>(v);
+    }
+    return def;
+}
+
+double
+envOverrideDouble(const char *name, double def)
+{
+    if (const char *env = std::getenv(name)) {
+        const double v = std::atof(env);
+        if (v > 0.0)
+            return v;
+    }
+    return def;
+}
+
 } // namespace core
 } // namespace idp

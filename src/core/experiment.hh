@@ -130,6 +130,14 @@ RunResult runTrace(const workload::Trace &trace,
  */
 std::uint64_t benchRequestCount(std::uint64_t default_requests);
 
+/**
+ * Environment override helpers shared by benches and the serving
+ * front end (IDP_SERVE_* knobs): parse $name as a positive integer /
+ * positive double, returning @p def when unset or malformed.
+ */
+std::uint64_t envOverrideU64(const char *name, std::uint64_t def);
+double envOverrideDouble(const char *name, double def);
+
 } // namespace core
 } // namespace idp
 

@@ -1,0 +1,29 @@
+#include "serve/admission.hh"
+
+#include <algorithm>
+
+namespace idp {
+namespace serve {
+
+bool
+bucketAdmit(TokenBucketState &state, const TokenBucketParams &params,
+            sim::Tick now)
+{
+    if (params.ratePerSec <= 0.0)
+        return true; // rate limiting disabled
+    if (now > state.lastRefill) {
+        const double elapsed_sec =
+            sim::ticksToSeconds(now - state.lastRefill);
+        state.tokens = std::min(
+            params.burst,
+            state.tokens + params.ratePerSec * elapsed_sec);
+        state.lastRefill = now;
+    }
+    if (state.tokens < 1.0)
+        return false;
+    state.tokens -= 1.0;
+    return true;
+}
+
+} // namespace serve
+} // namespace idp

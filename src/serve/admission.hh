@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Admission control for the serving front end.
+ *
+ * Two layers, both deterministic pure-state machines:
+ *
+ *  - Per-tenant token buckets bound each session's sustained request
+ *    rate (rate tokens/sec, burst capacity). A tenant's bucket state
+ *    lives inline in its session (16 bytes) so a million tenants cost
+ *    a million small structs, not a map.
+ *  - A global in-flight cap sheds load when the array is saturated:
+ *    past maxInFlight outstanding foreground requests, every arrival
+ *    is denied regardless of tokens. This is what keeps a
+ *    million-tenant overload bounded — queues cannot grow past the
+ *    cap, denied closed-loop tenants back off and retry.
+ *
+ * The bucket works on integer ticks and double tokens with a fixed
+ * evaluation order, so admit/deny sequences are bit-reproducible.
+ */
+
+#ifndef IDP_SERVE_ADMISSION_HH
+#define IDP_SERVE_ADMISSION_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace idp {
+namespace serve {
+
+/** Per-tenant token-bucket shape. */
+struct TokenBucketParams
+{
+    /** Sustained admitted-request rate per tenant, requests/sec.
+     *  <= 0 disables per-tenant rate limiting (always admit). */
+    double ratePerSec = 1.0;
+    /** Bucket capacity: the largest admissible burst. */
+    double burst = 4.0;
+};
+
+/** Inline per-tenant bucket state (embedded in TenantSession). */
+struct TokenBucketState
+{
+    double tokens = 0.0;
+    sim::Tick lastRefill = 0;
+};
+
+/**
+ * Refill @p state up to @p now and consume one token if available.
+ * @return true when admitted. Callers seed sessions with a full
+ * bucket (tokens = burst), modeling a tenant that arrives with its
+ * burst budget; refill accrues rate * elapsed and caps at burst.
+ */
+bool bucketAdmit(TokenBucketState &state, const TokenBucketParams &params,
+                 sim::Tick now);
+
+/** Whole-service admission knobs. */
+struct AdmissionParams
+{
+    TokenBucketParams bucket;
+    /**
+     * Global outstanding-foreground-request cap (0 = uncapped).
+     * Arrivals beyond it are denied — overload is shed at the door
+     * instead of growing the array queue without bound.
+     */
+    std::uint32_t maxInFlight = 256;
+};
+
+} // namespace serve
+} // namespace idp
+
+#endif // IDP_SERVE_ADMISSION_HH

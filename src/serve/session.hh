@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lightweight tenant-session state machines.
+ *
+ * A serving run models N ~ 10^6 tenants as one flat vector of these
+ * structs — no threads, no per-session heap objects, no per-session
+ * calendar events while thinking (the think wheel holds sessions in
+ * an intrusive list threaded through wheelNext). Everything a session
+ * needs beyond this struct is derived from its index: its LBA region
+ * is a fixed slice of the array's logical space, its request ids
+ * encode (tenant << 32 | seq).
+ *
+ * Open-loop sessions never appear in the wheel: their collective
+ * arrivals are drawn from one aggregate modulated Poisson process
+ * (one pending calendar event for all of them), which is what keeps
+ * calendar pressure independent of tenant count.
+ *
+ * Closed-loop life cycle:
+ *
+ *   Thinking --wheel wake--> admission --admit--> Waiting (1 request
+ *     in flight) --completion--> [maybe arm speculative readahead]
+ *     --> Thinking (think timer via wheel)
+ *   admission --deny--> Thinking (retry backoff via wheel)
+ *
+ * Speculative readahead (the Foreactor-style interface): a completion
+ * may start a sequential phase, arming a batch of future submissions
+ * as cancellable calendar events. The next wake retracts the batch on
+ * a phase change — cancelling every armed id without tracking which
+ * already fired; the calendar's generation tags absorb the stale ones
+ * as counted no-ops (Simulator::staleCancels).
+ */
+
+#ifndef IDP_SERVE_SESSION_HH
+#define IDP_SERVE_SESSION_HH
+
+#include <cstdint>
+
+#include "serve/admission.hh"
+#include "sim/event_queue.hh"
+
+namespace idp {
+namespace serve {
+
+/** Armed speculative submissions a session may hold at once. */
+constexpr std::uint32_t kSpecBatchMax = 4;
+
+/** Sentinel for "not linked in the wheel". */
+constexpr std::uint32_t kNoSession = 0xFFFFFFFFu;
+
+/** Session access-pattern phase. */
+enum class SessionPhase : std::uint8_t
+{
+    Random,     ///< independent random offsets within the region
+    Sequential, ///< walking the region; readahead is armed
+};
+
+/** One tenant session (~72 bytes; a million tenants ~72 MB, flat). */
+struct TenantSession
+{
+    TokenBucketState bucket;              // 16
+    /** Region-relative cursor of the sequential phase, sectors. */
+    std::uint64_t seqOffset = 0;          // 8
+    /** Armed speculative submissions (invalid ids when empty). */
+    sim::EventId spec[kSpecBatchMax] = {}; // 32
+    /** Intrusive think-wheel link. */
+    std::uint32_t wheelNext = kNoSession; // 4
+    /** Per-session request sequence (rides in the request id). */
+    std::uint32_t nextSeq = 0;            // 4
+    SessionPhase phase = SessionPhase::Random;
+    /** Armed entries in spec[] (trailing slots invalid). */
+    std::uint8_t specArmed = 0;
+    /** True while a foreground request is in flight (closed loop). */
+    bool waiting = false;
+};
+
+/** Request-id encoding: (tenant << 32) | (spec bit) | sequence. */
+constexpr std::uint64_t kSpecIdBit = 1ull << 31;
+
+inline std::uint64_t
+makeRequestId(std::uint32_t tenant, std::uint32_t seq, bool spec)
+{
+    return (static_cast<std::uint64_t>(tenant) << 32) |
+        (spec ? kSpecIdBit : 0) |
+        (seq & 0x7FFFFFFFu);
+}
+
+inline std::uint32_t
+requestTenant(std::uint64_t id)
+{
+    return static_cast<std::uint32_t>(id >> 32);
+}
+
+} // namespace serve
+} // namespace idp
+
+#endif // IDP_SERVE_SESSION_HH

@@ -1,0 +1,83 @@
+#include "serve/slo.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace serve {
+
+namespace {
+
+/** Linear-interpolated order statistic of a sorted range — the same
+ *  formula as stats::SampleSet, so window and end-of-run quantiles
+ *  agree exactly on identical samples. */
+double
+sortedQuantile(const double *sorted, std::size_t n, double q)
+{
+    const double pos = q * static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+SloWindow::SloWindow(std::uint32_t window_samples)
+{
+    sim::simAssert(window_samples > 0,
+                   "SloWindow: window must hold at least one sample");
+    ring_.resize(window_samples);
+    scratch_.resize(window_samples);
+}
+
+void
+SloWindow::record(double ms)
+{
+    ring_[head_] = ms;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    filled_ = std::min(filled_ + 1, ring_.size());
+    ++total_;
+}
+
+void
+SloWindow::clear()
+{
+    head_ = 0;
+    filled_ = 0;
+    total_ = 0;
+}
+
+std::size_t
+SloWindow::fillScratch() const
+{
+    std::copy_n(ring_.begin(), filled_, scratch_.begin());
+    std::sort(scratch_.begin(), scratch_.begin() + filled_);
+    return filled_;
+}
+
+double
+SloWindow::quantile(double q) const
+{
+    sim::simAssert(q >= 0.0 && q <= 1.0, "SloWindow: bad quantile");
+    if (filled_ == 0)
+        return 0.0;
+    const std::size_t n = fillScratch();
+    return sortedQuantile(scratch_.data(), n, q);
+}
+
+void
+SloWindow::quantiles(double &p50, double &p99) const
+{
+    if (filled_ == 0) {
+        p50 = p99 = 0.0;
+        return;
+    }
+    const std::size_t n = fillScratch();
+    p50 = sortedQuantile(scratch_.data(), n, 0.50);
+    p99 = sortedQuantile(scratch_.data(), n, 0.99);
+}
+
+} // namespace serve
+} // namespace idp

@@ -1,0 +1,70 @@
+#include "serve/think_wheel.hh"
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace serve {
+
+ThinkWheel::ThinkWheel(sim::Tick granularity, std::uint32_t slots)
+    : granularity_(granularity)
+{
+    sim::simAssert(granularity_ > 0,
+                   "think wheel: granularity must be positive");
+    sim::simAssert(slots >= 2, "think wheel: needs at least 2 slots");
+    heads_.assign(slots, kNoSession);
+    tails_.assign(slots, kNoSession);
+}
+
+void
+ThinkWheel::insert(std::vector<TenantSession> &sessions,
+                   std::uint32_t tenant, sim::Tick now, sim::Tick wake)
+{
+    // Quantize up to a strictly future tick boundary, then clamp into
+    // the horizon. The driver fires ticks at every multiple of G, so
+    // slot (tick / G) % S is drained exactly once before the wheel
+    // wraps back onto it.
+    const sim::Tick now_tick = now / granularity_;
+    sim::Tick wake_tick =
+        (wake + granularity_ - 1) / granularity_; // ceil
+    if (wake_tick <= now_tick)
+        wake_tick = now_tick + 1;
+    const sim::Tick max_tick =
+        now_tick + static_cast<sim::Tick>(slots());
+    if (wake_tick > max_tick)
+        wake_tick = max_tick;
+
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(wake_tick % slots());
+    TenantSession &s = sessions[tenant];
+    sim::simAssert(s.wheelNext == kNoSession &&
+                       tails_[slot] != tenant,
+                   "think wheel: session already scheduled");
+    s.wheelNext = kNoSession;
+    if (heads_[slot] == kNoSession)
+        heads_[slot] = tenant;
+    else
+        sessions[tails_[slot]].wheelNext = tenant;
+    tails_[slot] = tenant;
+    ++scheduled_;
+}
+
+void
+ThinkWheel::drain(std::vector<TenantSession> &sessions, sim::Tick now,
+                  std::vector<std::uint32_t> &out)
+{
+    const std::uint32_t slot = static_cast<std::uint32_t>(
+        (now / granularity_) % slots());
+    std::uint32_t cur = heads_[slot];
+    heads_[slot] = kNoSession;
+    tails_[slot] = kNoSession;
+    while (cur != kNoSession) {
+        const std::uint32_t next = sessions[cur].wheelNext;
+        sessions[cur].wheelNext = kNoSession;
+        out.push_back(cur);
+        --scheduled_;
+        cur = next;
+    }
+}
+
+} // namespace serve
+} // namespace idp

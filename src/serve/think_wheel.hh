@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Timer wheel for million-session think times.
+ *
+ * Scheduling each closed-loop session's next wake as its own calendar
+ * event would put N pending entries (~100 B each) in the event heap —
+ * workable at 10^4 sessions, wasteful at 10^6. The wheel replaces
+ * them with one periodic tick event and S slots of intrusive session
+ * lists (links threaded through TenantSession::wheelNext): insert and
+ * drain are O(1) per session, calendar pressure is O(1) total, and
+ * session memory grows by exactly 4 bytes.
+ *
+ * Granularity G quantizes wakes up to the next tick boundary; the
+ * horizon S*G bounds how far ahead a wake can land, so think times
+ * are clamped to the horizon (the serving loop sizes S from its
+ * configured maximum think time). Within a slot, sessions wake in
+ * insertion order — deterministic by construction.
+ */
+
+#ifndef IDP_SERVE_THINK_WHEEL_HH
+#define IDP_SERVE_THINK_WHEEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/session.hh"
+#include "sim/types.hh"
+
+namespace idp {
+namespace serve {
+
+class ThinkWheel
+{
+  public:
+    /**
+     * @param granularity tick width of one slot (> 0).
+     * @param slots wheel size; the horizon is granularity * slots.
+     */
+    ThinkWheel(sim::Tick granularity, std::uint32_t slots);
+
+    sim::Tick granularity() const { return granularity_; }
+    sim::Tick horizon() const
+    {
+        return granularity_ * static_cast<sim::Tick>(slots());
+    }
+    std::uint32_t slots() const
+    {
+        return static_cast<std::uint32_t>(heads_.size());
+    }
+    std::uint64_t scheduled() const { return scheduled_; }
+
+    /**
+     * Link @p tenant to wake at @p wake (quantized up to the next
+     * tick boundary, clamped into (now, now + horizon]). @p sessions
+     * is the flat session vector the intrusive links live in.
+     */
+    void insert(std::vector<TenantSession> &sessions,
+                std::uint32_t tenant, sim::Tick now, sim::Tick wake);
+
+    /**
+     * Unlink and return every session due at tick time @p now (the
+     * slot (now / granularity) % slots), appending tenant indices to
+     * @p out in insertion order. @p now must be a tick boundary the
+     * wheel's driver fires on every granularity step — skipping
+     * boundaries would orphan a slot for a full revolution.
+     */
+    void drain(std::vector<TenantSession> &sessions, sim::Tick now,
+               std::vector<std::uint32_t> &out);
+
+  private:
+    sim::Tick granularity_;
+    std::vector<std::uint32_t> heads_; ///< kNoSession = empty
+    std::vector<std::uint32_t> tails_;
+    std::uint64_t scheduled_ = 0; ///< sessions currently linked
+};
+
+} // namespace serve
+} // namespace idp
+
+#endif // IDP_SERVE_THINK_WHEEL_HH

@@ -9,6 +9,14 @@
 namespace idp {
 namespace sim {
 
+void
+Simulator::reserveEvents(std::size_t events)
+{
+    slab_.reserve(events);
+    freeSlots_.reserve(events);
+    heap_.reserve(events);
+}
+
 std::uint32_t
 Simulator::allocSlot()
 {

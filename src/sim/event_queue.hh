@@ -113,6 +113,14 @@ class Simulator
     std::size_t pendingEvents() const { return pending_; }
 
     /**
+     * Pre-reserve calendar storage for @p events concurrent entries.
+     * The slab grows to peak pressure on demand either way; a
+     * long-lived serving loop that knows its steady calendar load
+     * reserves up front so the measured window never reallocates.
+     */
+    void reserveEvents(std::size_t events);
+
+    /**
      * Run until the event queue drains or @p until is reached
      * (events at exactly @p until still fire).
      * @return the final simulated time.

@@ -58,6 +58,11 @@ class Histogram
     /** Mean of all recorded samples (0 when empty). */
     double mean() const;
 
+    /** Sum of all recorded samples (0 when empty). Paired with
+     *  total(), lets a periodic reader compute interval means without
+     *  resetting the histogram (telemetry snapshot deltas). */
+    double sum() const { return sum_; }
+
     /** Minimum / maximum sample seen (0 when empty). */
     double minSeen() const { return total_ ? min_ : 0.0; }
     double maxSeen() const { return total_ ? max_ : 0.0; }

@@ -41,6 +41,12 @@ SampleSet::add(double x)
 }
 
 void
+SampleSet::reserve(std::size_t n)
+{
+    samples_.reserve(std::min(n, capacity_));
+}
+
+void
 SampleSet::seal()
 {
     if (!sorted_) {

@@ -44,6 +44,14 @@ class SampleSet
     /** Record one sample. */
     void add(double x);
 
+    /**
+     * Pre-reserve retained-sample storage (clamped to the capacity).
+     * Long-lived serving loops call this up front so ingestion never
+     * reallocates in steady state; batch runs skip it to keep sweep
+     * memory proportional to actual sample counts.
+     */
+    void reserve(std::size_t n);
+
     /** Sort the retained samples in place (after ingestion ends). */
     void seal();
 

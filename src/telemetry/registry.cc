@@ -71,6 +71,40 @@ Registry::snapshot() const
     return out;
 }
 
+std::vector<MetricSample>
+Registry::snapshotDelta()
+{
+    std::vector<MetricSample> out;
+    out.reserve(counters_.size() + gauges_.size() +
+                histograms_.size() * 3);
+    for (const auto &[name, c] : counters_) {
+        const std::uint64_t now = c.load();
+        std::uint64_t &base = counterBase_[name];
+        out.push_back({name, static_cast<double>(now - base)});
+        base = now;
+    }
+    for (const auto &[name, g] : gauges_)
+        out.push_back({name, g.value});
+    for (const auto &[name, h] : histograms_) {
+        auto &[base_count, base_sum] = histBase_[name];
+        const std::uint64_t dcount = h.total() - base_count;
+        const double dsum = h.sum() - base_sum;
+        out.push_back(
+            {name + ".count", static_cast<double>(dcount)});
+        out.push_back({name + ".mean",
+                       dcount ? dsum / static_cast<double>(dcount)
+                              : 0.0});
+        out.push_back({name + ".max", h.maxSeen()});
+        base_count = h.total();
+        base_sum = h.sum();
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
 void
 Registry::writeCsv(std::ostream &os) const
 {

@@ -93,6 +93,19 @@ class Registry
      */
     std::vector<MetricSample> snapshot() const;
 
+    /**
+     * Delta snapshot for long-lived serving runs: counters report the
+     * increase since the previous snapshotDelta() call (the first call
+     * reports the cumulative value), histograms report the interval's
+     * .count and .mean (derived from count/sum baselines; .max stays
+     * cumulative — a maximum cannot be rewound without resetting the
+     * histogram under its handles), and gauges stay point-in-time.
+     * Rows are sorted by name, like snapshot(). The baselines advance
+     * only here, so interleaved cumulative snapshot() calls do not
+     * perturb the delta stream.
+     */
+    std::vector<MetricSample> snapshotDelta();
+
     /** Write the snapshot as a two-column CSV ("metric,value"). */
     void writeCsv(std::ostream &os) const;
 
@@ -108,6 +121,11 @@ class Registry
     std::map<std::string, Counter> counters_;
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, stats::Histogram> histograms_;
+
+    /** snapshotDelta baselines: last-reported counter values and
+     *  histogram (count, sum) pairs, keyed like the metric maps. */
+    std::map<std::string, std::uint64_t> counterBase_;
+    std::map<std::string, std::pair<std::uint64_t, double>> histBase_;
 };
 
 /** Installs a Registry as this thread's current one (RAII). */

@@ -1,0 +1,71 @@
+#include "workload/modulation.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace idp {
+namespace workload {
+
+RateModulation::RateModulation(const RateModulationParams &params)
+    : params_(params)
+{
+    validate(params_);
+}
+
+void
+RateModulation::validate(const RateModulationParams &params)
+{
+    sim::simAssert(params.diurnalAmplitude >= 0.0 &&
+                       params.diurnalAmplitude < 1.0,
+                   "modulation: diurnal amplitude must be in [0, 1)");
+    if (params.diurnalAmplitude > 0.0)
+        sim::simAssert(params.diurnalPeriodSec > 0.0,
+                       "modulation: diurnal period must be positive");
+    sim::simAssert(params.diurnalPhase >= 0.0 &&
+                       params.diurnalPhase < 1.0,
+                   "modulation: diurnal phase must be in [0, 1)");
+    sim::simAssert(params.burstMultiplier >= 1.0,
+                   "modulation: burst multiplier must be >= 1");
+    if (params.burstDurationSec > 0.0 &&
+        params.burstMultiplier > 1.0) {
+        sim::simAssert(params.burstPeriodSec > 0.0,
+                       "modulation: burst period must be positive");
+        sim::simAssert(
+            params.burstDurationSec <= params.burstPeriodSec,
+            "modulation: burst duration exceeds its period");
+    }
+}
+
+bool
+RateModulation::inBurst(sim::Tick t) const
+{
+    if (params_.burstDurationSec <= 0.0 ||
+        params_.burstMultiplier <= 1.0)
+        return false;
+    const sim::Tick period =
+        sim::secondsToTicks(params_.burstPeriodSec);
+    const sim::Tick duration =
+        sim::secondsToTicks(params_.burstDurationSec);
+    return period > 0 && (t % period) < duration;
+}
+
+double
+RateModulation::factorAt(sim::Tick t) const
+{
+    double factor = 1.0;
+    if (params_.diurnalAmplitude > 0.0) {
+        const double cycles =
+            sim::ticksToSeconds(t) / params_.diurnalPeriodSec +
+            params_.diurnalPhase;
+        constexpr double kTwoPi = 6.283185307179586;
+        factor += params_.diurnalAmplitude *
+            std::sin(kTwoPi * cycles);
+    }
+    if (inBurst(t))
+        factor *= params_.burstMultiplier;
+    return factor;
+}
+
+} // namespace workload
+} // namespace idp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic arrival-rate modulation for long-lived serving runs.
+ *
+ * A serving front end never sees the flat Poisson streams of the
+ * paper's batch experiments: datacenter traffic breathes on a diurnal
+ * cycle and spikes in bursts. RateModulation models both as a pure
+ * function of simulated time — a sinusoidal diurnal component plus
+ * periodic burst windows with a multiplicative uplift — so a
+ * modulated run stays bit-reproducible: the factor at tick t depends
+ * on nothing but t and the parameters.
+ */
+
+#ifndef IDP_WORKLOAD_MODULATION_HH
+#define IDP_WORKLOAD_MODULATION_HH
+
+#include "sim/types.hh"
+
+namespace idp {
+namespace workload {
+
+/** Shape of the time-varying arrival-rate multiplier. */
+struct RateModulationParams
+{
+    /**
+     * Diurnal sinusoid: factor swings between 1 - amplitude and
+     * 1 + amplitude over one period. Amplitude 0 disables the
+     * component; period must be > 0 when amplitude > 0.
+     */
+    double diurnalPeriodSec = 60.0;
+    double diurnalAmplitude = 0.0; ///< in [0, 1)
+    /** Phase offset, fraction of a period in [0, 1). 0 starts at the
+     *  mean on the way up (plain sin). */
+    double diurnalPhase = 0.0;
+
+    /**
+     * Bursts: every burstPeriodSec, the first burstDurationSec are
+     * scaled by burstMultiplier (>= 1). Duration 0 or multiplier 1
+     * disables the component.
+     */
+    double burstPeriodSec = 0.0;
+    double burstDurationSec = 0.0;
+    double burstMultiplier = 1.0;
+};
+
+/**
+ * Evaluates the combined multiplier. factorAt() is strictly positive
+ * whenever the parameters are valid (validate() checks them).
+ */
+class RateModulation
+{
+  public:
+    explicit RateModulation(const RateModulationParams &params);
+
+    /** Combined multiplier at simulated time @p t. */
+    double factorAt(sim::Tick t) const;
+
+    /** True when @p t falls inside a burst window. */
+    bool inBurst(sim::Tick t) const;
+
+    const RateModulationParams &params() const { return params_; }
+
+    /** Fatal on out-of-range parameters. */
+    static void validate(const RateModulationParams &params);
+
+  private:
+    RateModulationParams params_;
+};
+
+} // namespace workload
+} // namespace idp
+
+#endif // IDP_WORKLOAD_MODULATION_HH
