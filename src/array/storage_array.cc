@@ -1,15 +1,39 @@
 #include "array/storage_array.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <numeric>
 
 #include "array/array_bridge.hh"
+#include "array/rebuild.hh"
 #include "sim/logging.hh"
 #include "telemetry/telemetry.hh"
 #include "verify/verify.hh"
 
 namespace idp {
 namespace array {
+
+namespace {
+
+/** IDP_REPLICA environment override for the RAID-1 read policy. */
+ReplicaPolicy
+replicaPolicyFromEnv(ReplicaPolicy configured)
+{
+    const char *env = std::getenv("IDP_REPLICA");
+    if (env == nullptr || *env == '\0')
+        return configured;
+    if (std::strcmp(env, "queue") == 0)
+        return ReplicaPolicy::Queue;
+    if (std::strcmp(env, "position") == 0 ||
+        std::strcmp(env, "positioning") == 0)
+        return ReplicaPolicy::Positioning;
+    sim::panic(std::string("IDP_REPLICA: unknown policy \"") + env +
+               "\" (use \"queue\" or \"position\")");
+    return configured;
+}
+
+} // namespace
 
 StorageArray::StorageArray(sim::Simulator &simul,
                            const ArrayParams &params,
@@ -51,10 +75,10 @@ StorageArray::StorageArray(sim::Simulator &simul,
                 bridge_->complete(i, req, done, info);
             };
         } else {
-            complete = [this](const workload::IoRequest &req,
-                              sim::Tick done,
-                              const disk::ServiceInfo &info) {
-                onSubComplete(req, done, info);
+            complete = [this, i](const workload::IoRequest &req,
+                                 sim::Tick done,
+                                 const disk::ServiceInfo &info) {
+                onSubComplete(i, req, done, info);
             };
         }
         disks_.push_back(std::make_unique<disk::DiskDrive>(
@@ -64,8 +88,15 @@ StorageArray::StorageArray(sim::Simulator &simul,
     }
     ctrLogical_ = telemetry::counterHandle("array.logical_requests");
     ctrSubs_ = telemetry::counterHandle("array.sub_requests");
+    ctrSubClamped_ = telemetry::counterHandle("array.sub_clamped");
+    ctrDroppedSubs_ =
+        telemetry::counterHandle("array.dropped_sub_completions");
+    ctrReplicaPriced_ =
+        telemetry::counterHandle("array.replica_priced");
+    ctrReplicaTies_ = telemetry::counterHandle("array.replica_ties");
     diskSectors_ = disks_[0]->geometry().totalSectors();
     failed_.assign(params_.disks, false);
+    replicaPolicy_ = replicaPolicyFromEnv(params_.replica);
 
     switch (params_.layout) {
       case Layout::PassThrough:
@@ -95,6 +126,8 @@ StorageArray::StorageArray(sim::Simulator &simul,
         break;
     }
 }
+
+StorageArray::~StorageArray() = default;
 
 const disk::DiskDrive &
 StorageArray::diskAt(std::uint32_t i) const
@@ -134,6 +167,28 @@ StorageArray::diskFailed(std::uint32_t idx) const
 }
 
 void
+StorageArray::startRebuild(std::uint32_t idx,
+                           const RebuildParams &params)
+{
+    sim::simAssert(idx < disks_.size(), "array: bad disk index");
+    sim::simAssert(failed_[idx],
+                   "array: rebuild target is not failed");
+    sim::simAssert(rebuild_ == nullptr || rebuild_->done(),
+                   "array: a rebuild is already running");
+    sim::simAssert(bridge_ == nullptr,
+                   "array: rebuild requires the serial event loop");
+    rebuild_ = std::make_unique<RebuildEngine>(*this, idx, params);
+    rebuild_->start();
+}
+
+void
+StorageArray::completeRebuild(std::uint32_t idx)
+{
+    sim::simAssert(failed_[idx], "array: rebuilt member not failed");
+    failed_[idx] = false;
+}
+
+void
 StorageArray::failMemberArm(std::uint32_t disk_idx, std::uint32_t arm)
 {
     sim::simAssert(disk_idx < disks_.size(), "array: bad disk index");
@@ -163,11 +218,19 @@ StorageArray::submitSub(std::uint32_t disk_idx, workload::IoRequest sub,
 {
     sub.id = join_id;
     sub.arrival = tnow();
-    // Defensive clamp: keep every access within the physical disk.
+    // An out-of-range sub-request means the fan-out math lost data:
+    // that is a verify-layer violation (fatal under the default Panic
+    // checker), not something to silently relocate. When the run
+    // continues (Record mode, or checking disabled), pin the access
+    // to the last in-range start so the drive still accepts it — the
+    // old modulo even excluded the valid lba == diskSectors_ - sectors.
     if (sub.lba + sub.sectors > diskSectors_) {
-        if (sub.sectors >= diskSectors_)
-            sub.sectors = 1;
-        sub.lba = sub.lba % (diskSectors_ - sub.sectors);
+        telemetry::bump(ctrSubClamped_);
+        verify::onArraySubRange(disk_idx, sub.lba, sub.sectors,
+                                diskSectors_);
+        if (sub.sectors > diskSectors_)
+            sub.sectors = static_cast<std::uint32_t>(diskSectors_);
+        sub.lba = diskSectors_ - sub.sectors;
     }
     telemetry::bump(ctrSubs_);
     verify::onArraySub(join_id);
@@ -220,11 +283,12 @@ StorageArray::injectSub(std::uint32_t disk_idx,
 }
 
 void
-StorageArray::replaySubComplete(const workload::IoRequest &sub,
+StorageArray::replaySubComplete(std::uint32_t disk_idx,
+                                const workload::IoRequest &sub,
                                 sim::Tick done,
                                 const disk::ServiceInfo &info)
 {
-    onSubComplete(sub, done, info);
+    onSubComplete(disk_idx, sub, done, info);
 }
 
 void
@@ -294,14 +358,8 @@ StorageArray::submit(const workload::IoRequest &req)
                     pick = b;
                 else if (failed_[b])
                     pick = a;
-                else if (disks_[a]->queueDepth() !=
-                         disks_[b]->queueDepth())
-                    pick = disks_[a]->queueDepth() <
-                            disks_[b]->queueDepth()
-                        ? a
-                        : b;
                 else
-                    pick = (rrRead_++ % 2 == 0) ? a : b;
+                    pick = pickReplica(a, b, sub);
                 subs.emplace_back(pick, sub);
             } else {
                 if (!failed_[a])
@@ -323,6 +381,36 @@ StorageArray::submit(const workload::IoRequest &req)
         return;
       }
     }
+}
+
+std::uint32_t
+StorageArray::pickReplica(std::uint32_t a, std::uint32_t b,
+                          const workload::IoRequest &sub)
+{
+    if (replicaPolicy_ == ReplicaPolicy::Queue) {
+        // Legacy routing: shallower queue, round-robin on ties.
+        if (disks_[a]->queueDepth() != disks_[b]->queueDepth())
+            return disks_[a]->queueDepth() < disks_[b]->queueDepth()
+                ? a
+                : b;
+        return (rrRead_++ % 2 == 0) ? a : b;
+    }
+    // Positioning-priced: ask each replica's drive what this read
+    // would cost dispatched now (cheapest arm's seek + rotational
+    // wait + transfer + backlog), and take the cheaper one. Prices
+    // tie mostly on cold symmetric mirrors, where queue depth then
+    // round-robin keep the choice deterministic.
+    const sim::Tick pa = disks_[a]->readPriceTicks(sub.lba, sub.sectors);
+    const sim::Tick pb = disks_[b]->readPriceTicks(sub.lba, sub.sectors);
+    if (pa != pb) {
+        telemetry::bump(ctrReplicaPriced_);
+        return pa < pb ? a : b;
+    }
+    telemetry::bump(ctrReplicaTies_);
+    if (disks_[a]->queueDepth() != disks_[b]->queueDepth())
+        return disks_[a]->queueDepth() < disks_[b]->queueDepth() ? a
+                                                                 : b;
+    return (rrRead_++ % 2 == 0) ? a : b;
 }
 
 void
@@ -443,11 +531,30 @@ StorageArray::fanOutRaid5(const workload::IoRequest &req,
 }
 
 void
-StorageArray::onSubComplete(const workload::IoRequest &sub,
+StorageArray::onSubComplete(std::uint32_t disk_idx,
+                            const workload::IoRequest &sub,
                             sim::Tick done,
                             const disk::ServiceInfo &info)
 {
-    if (!info.cacheHit) {
+    // Rebuild traffic bypasses the join machinery entirely: its ids
+    // live in a disjoint space and the engine tracks its own
+    // reads/spare writes. Routed before the failed-member check —
+    // spare writes legitimately target the still-offline member.
+    if (rebuild_ != nullptr && RebuildEngine::isRebuildId(sub.id)) {
+        rebuild_->onSubComplete(disk_idx, sub, done, info);
+        return;
+    }
+    // A sub-request that was already in flight when failDisk() fired
+    // still completes mechanically, but the member is gone: drop the
+    // completion with accounting. It resolves its join (conservation)
+    // without feeding service statistics, and taints the join so the
+    // logical response sample is not recorded as healthy service.
+    const bool dropped = failed_[disk_idx];
+    if (dropped) {
+        ++stats_.droppedSubCompletions;
+        telemetry::bump(ctrDroppedSubs_);
+    }
+    if (!info.cacheHit && !dropped) {
         const double rot_ms = sim::ticksToMs(info.rotTicks);
         stats_.rotMs.add(rot_ms);
         stats_.rotHist.add(rot_ms);
@@ -458,16 +565,17 @@ StorageArray::onSubComplete(const workload::IoRequest &sub,
         // so the event-ful transfer stays correct there too.
         const std::uint64_t join_id = sub.id;
         const std::uint64_t bytes = sub.bytes();
-        bus_->transfer(bytes, join_id, [this, join_id] {
-            finishSub(join_id, tnow());
+        bus_->transfer(bytes, join_id, [this, join_id, dropped] {
+            finishSub(join_id, tnow(), dropped);
         });
         return;
     }
-    finishSub(sub.id, done);
+    finishSub(sub.id, done, dropped);
 }
 
 void
-StorageArray::finishSub(std::uint64_t join_id, sim::Tick done)
+StorageArray::finishSub(std::uint64_t join_id, sim::Tick done,
+                        bool tainted)
 {
     auto it = joins_.find(join_id);
     sim::simAssert(it != joins_.end(), "array: completion for no join");
@@ -475,6 +583,8 @@ StorageArray::finishSub(std::uint64_t join_id, sim::Tick done)
     sim::simAssert(join.remaining > 0, "array: join underflow");
     verify::onArraySubFinish(join_id, done);
     --join.remaining;
+    if (tainted)
+        join.tainted = true;
     if (join.remaining > 0)
         return;
 
@@ -488,15 +598,22 @@ StorageArray::finishSub(std::uint64_t join_id, sim::Tick done)
     }
 
     const workload::IoRequest logical = join.logical;
+    const bool join_tainted = join.tainted;
     joins_.erase(it);
     ++stats_.logicalCompletions;
     verify::onArrayJoin(join_id, logical.arrival, done);
     telemetry::emitSpan(logical.id, telemetry::SpanKind::RaidJoin,
                         logical.arrival, done,
                         static_cast<std::uint32_t>(join_id));
-    const double resp_ms = sim::ticksToMs(done - logical.arrival);
-    stats_.responseMs.add(resp_ms);
-    stats_.responseHist.add(resp_ms);
+    if (join_tainted) {
+        // The join completed, but part of its service happened on a
+        // member that failed under it: count it, skip the sample.
+        ++stats_.taintedJoins;
+    } else {
+        const double resp_ms = sim::ticksToMs(done - logical.arrival);
+        stats_.responseMs.add(resp_ms);
+        stats_.responseHist.add(resp_ms);
+    }
     if (onComplete_)
         onComplete_(logical, done);
 }

@@ -11,8 +11,9 @@
  *    the data in D2, ...").
  *  - Raid0: striping over all disks (the paper's synthetic-workload
  *    arrays, Section 7.3).
- *  - Raid1: mirrored pair-sets; reads go to the replica with the
- *    shallower queue, writes to both.
+ *  - Raid1: mirrored pair-sets; reads go to the replica whose drive
+ *    prices the access cheaper (positioning oracle + backlog; see
+ *    ReplicaPolicy), writes to both.
  *  - Raid5: rotating parity; small writes expand into the classic
  *    read-modify-write (read old data + old parity, then write new
  *    data + new parity, with the writes dependent on the reads).
@@ -38,6 +39,8 @@ namespace idp {
 namespace array {
 
 class ArrayBridge;
+class RebuildEngine;
+struct RebuildParams;
 
 /** Data layout across the array's disks. */
 enum class Layout
@@ -49,6 +52,23 @@ enum class Layout
     Raid5,
 };
 
+/**
+ * How RAID-1 reads choose between two healthy replicas.
+ *
+ * Positioning prices each replica with
+ * disk::DiskDrive::readPriceTicks — the same seek/rotation oracle the
+ * intra-disk scheduler uses to pick an arm, lifted one level up the
+ * stack (replica choice as arm choice) — and routes to the cheaper
+ * one. Queue is the legacy policy: shallower queue, round-robin on
+ * ties. The IDP_REPLICA environment variable overrides either way
+ * ("queue" / "position").
+ */
+enum class ReplicaPolicy
+{
+    Positioning,
+    Queue,
+};
+
 /** Array configuration. */
 struct ArrayParams
 {
@@ -57,6 +77,8 @@ struct ArrayParams
     disk::DriveSpec drive;
     /** Stripe unit for Raid0/Raid5, in sectors (128 = 64 KB). */
     std::uint32_t stripeSectors = 128;
+    /** RAID-1 read replica selection (see ReplicaPolicy). */
+    ReplicaPolicy replica = ReplicaPolicy::Positioning;
     /**
      * Sectors of each *traced* device (PassThrough bounds checking and
      * Concat offsets). Empty = derived from the drive capacity.
@@ -82,6 +104,17 @@ struct ArrayStats
 {
     std::uint64_t logicalArrivals = 0;
     std::uint64_t logicalCompletions = 0;
+    /**
+     * Sub-requests that completed on a member that had already been
+     * taken offline by failDisk(): the completion is dropped with
+     * accounting — it still resolves its join (conservation) but
+     * feeds no service statistics, and the join it belonged to is
+     * tainted.
+     */
+    std::uint64_t droppedSubCompletions = 0;
+    /** Logical requests whose join saw >= 1 dropped sub-completion;
+     *  they complete (and count) but contribute no response sample. */
+    std::uint64_t taintedJoins = 0;
     stats::SampleSet responseMs{1u << 20};
     stats::Histogram responseHist = stats::makeResponseHistogram();
     stats::Histogram rotHist = stats::makeRotLatencyHistogram();
@@ -104,6 +137,7 @@ class StorageArray
     StorageArray(sim::Simulator &simul, const ArrayParams &params,
                  LogicalCompletionFn on_complete = nullptr,
                  ArrayBridge *bridge = nullptr);
+    ~StorageArray(); // = default; RebuildEngine is incomplete here
 
     /** Submit a logical request at the current simulated time. */
     void submit(const workload::IoRequest &req);
@@ -142,6 +176,8 @@ class StorageArray
     {
         stats_.responseMs.reserve(~std::size_t(0));
         stats_.rotMs.reserve(~std::size_t(0));
+        for (auto &d : disks_)
+            d->reserveStatsCapacity();
     }
 
     /** Logical capacity exposed by the layout, in sectors. */
@@ -161,6 +197,22 @@ class StorageArray
 
     /** True if disk @p idx is offline. */
     bool diskFailed(std::uint32_t idx) const;
+
+    /**
+     * Start reconstructing failed disk @p idx onto its spare (the
+     * member's drive, reused in place). RAID-1 streams a mirror copy;
+     * RAID-5 reads every surviving row member and XORs onto the
+     * spare. The engine runs as background traffic under
+     * @p params' rate limit and foreground-yield knobs; when the last
+     * chunk lands the member rejoins the array. Serial runs only (the
+     * PDES bridge rejects redundant layouts anyway). Requires
+     * diskFailed(idx) and no rebuild already running.
+     */
+    void startRebuild(std::uint32_t idx, const RebuildParams &params);
+
+    /** The running (or finished) rebuild engine; null before
+     *  startRebuild. Exposes progress telemetry. */
+    const RebuildEngine *rebuild() const { return rebuild_.get(); }
 
     /**
      * Deconfigure one arm assembly of member @p disk_idx (Section 8
@@ -189,15 +241,21 @@ class StorageArray
 
     /** Replay one drive completion on the array-phase calendar, in
      *  merge order. */
-    void replaySubComplete(const workload::IoRequest &sub,
+    void replaySubComplete(std::uint32_t disk_idx,
+                           const workload::IoRequest &sub,
                            sim::Tick done,
                            const disk::ServiceInfo &info);
 
   private:
+    friend class RebuildEngine;
+
     struct Join
     {
         workload::IoRequest logical;
         std::uint32_t remaining = 0;
+        /** A member failed under this join: >= 1 sub-completion was
+         *  dropped, so the response sample would be fiction. */
+        bool tainted = false;
         /** Raid5 RMW: writes to issue once the reads complete. */
         std::vector<std::pair<std::uint32_t, workload::IoRequest>>
             deferred;
@@ -216,10 +274,17 @@ class StorageArray
     std::unordered_map<std::uint64_t, Join> joins_;
     std::uint64_t rrRead_ = 0; // Raid1 tie-break
     std::vector<bool> failed_;
+    /** Effective RAID-1 read policy (params + IDP_REPLICA). */
+    ReplicaPolicy replicaPolicy_ = ReplicaPolicy::Positioning;
+    std::unique_ptr<RebuildEngine> rebuild_;
     ArrayStats stats_;
     /** Registry handles (null when no registry is installed). */
     telemetry::Counter *ctrLogical_ = nullptr;
     telemetry::Counter *ctrSubs_ = nullptr;
+    telemetry::Counter *ctrSubClamped_ = nullptr;
+    telemetry::Counter *ctrDroppedSubs_ = nullptr;
+    telemetry::Counter *ctrReplicaPriced_ = nullptr;
+    telemetry::Counter *ctrReplicaTies_ = nullptr;
 
     /** Clock of whichever phase is executing (sim_ when serial). */
     sim::Tick tnow() const;
@@ -228,9 +293,17 @@ class StorageArray
     /** Book a staged write's bus movement and queue its delivery. */
     void replayBusWrite(std::uint32_t disk_idx,
                         const workload::IoRequest &sub);
-    void onSubComplete(const workload::IoRequest &sub, sim::Tick done,
+    void onSubComplete(std::uint32_t disk_idx,
+                       const workload::IoRequest &sub, sim::Tick done,
                        const disk::ServiceInfo &info);
-    void finishSub(std::uint64_t join_id, sim::Tick done);
+    void finishSub(std::uint64_t join_id, sim::Tick done,
+                   bool tainted);
+    /** RAID-1 read routing between the healthy replicas @p a and
+     *  @p b (see ReplicaPolicy). */
+    std::uint32_t pickReplica(std::uint32_t a, std::uint32_t b,
+                              const workload::IoRequest &sub);
+    /** Rebuild finished: bring the reconstructed member back. */
+    void completeRebuild(std::uint32_t idx);
     void fanOutRaid0(const workload::IoRequest &req,
                      std::uint64_t join_id, Join &join);
     void fanOutRaid5(const workload::IoRequest &req,

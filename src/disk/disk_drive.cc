@@ -58,6 +58,35 @@ DiskDrive::DiskDrive(sim::Simulator &simul, const DriveSpec &spec,
                      const sched::ArmView &a) {
         return cachedPositioning(r, a);
     };
+    estServiceTicks_ = seekLbTicks(geometry_.cylinders() / 3) +
+        spindle_.periodTicks() / 2;
+}
+
+sim::Tick
+DiskDrive::readPriceTicks(geom::Lba lba, std::uint32_t sectors) const
+{
+    sim::simAssert(lba + sectors <= geometry_.totalSectors(),
+                   "readPriceTicks: request beyond disk capacity");
+    const geom::Chs chs = geometry_.lbaToChs(lba);
+    const double angle = geometry_.sectorAngle(chs);
+    const sim::Tick now = sim_.now();
+    sim::Tick best = sim::kTickNever;
+    for (std::uint32_t k = 0;
+         k < static_cast<std::uint32_t>(arms_.size()); ++k) {
+        if (arms_[k].failed)
+            continue;
+        const std::uint32_t cyl = arms_[k].cylinder;
+        const std::uint32_t dist =
+            cyl > chs.cylinder ? cyl - chs.cylinder : chs.cylinder - cyl;
+        const sim::Tick seek = seekLbTicks(dist);
+        const sim::Tick rot = armRotWaitAngle(now + seek, angle, k);
+        best = std::min(best, seek + rot);
+    }
+    sim::simAssert(best != sim::kTickNever,
+                   "readPriceTicks: no healthy arm");
+    const std::uint64_t backlog = queueDepth() + activeCount_;
+    return best + transferTicks(chs, sectors) +
+        static_cast<sim::Tick>(backlog) * estServiceTicks_;
 }
 
 std::uint32_t

@@ -139,6 +139,22 @@ class DiskDrive
         return fgList_.size + bgList_.size;
     }
 
+    /** Pending host-visible (non-background) request count. */
+    std::size_t foregroundQueueDepth() const { return fgList_.size; }
+
+    /**
+     * Price a hypothetical read of (@p lba, @p sectors) dispatched
+     * right now: the cheapest healthy arm's seek + rotational wait
+     * (the same oracle the scheduler prices dispatches with), the
+     * media transfer, and a backlog term charging every queued or
+     * in-flight request one average service time. Mirrored arrays use
+     * this to route a read to the cheaper replica the way the
+     * scheduler routes it to the cheaper arm. Read-only: consults
+     * live arm positions and spindle phase but perturbs nothing.
+     */
+    sim::Tick readPriceTicks(geom::Lba lba,
+                             std::uint32_t sectors) const;
+
     /** Requests currently in mechanical service. */
     std::size_t inFlight() const { return activeCount_; }
 
@@ -155,6 +171,19 @@ class DiskDrive
 
     /** Snapshot of mode accounting without closing. */
     stats::ModeTimes modeTimesSnapshot() const;
+
+    /**
+     * Pre-reserve the per-drive sample buffers to their reservoir
+     * capacity so completion-path ingestion never reallocates in
+     * steady state (long-lived serving loops, rebuild benches).
+     */
+    void
+    reserveStatsCapacity()
+    {
+        stats_.responseMs.reserve(~std::size_t(0));
+        stats_.seekMs.reserve(~std::size_t(0));
+        stats_.rotMs.reserve(~std::size_t(0));
+    }
 
     const DriveStats &stats() const { return stats_; }
     const DriveSpec &spec() const { return spec_; }
@@ -442,6 +471,9 @@ class DiskDrive
 
     sim::Tick headSwitchTicks_;
     sim::Tick controllerTicks_;
+    /** Mean-service proxy (1/3-stroke seek + half a revolution) the
+     *  replica price charges per queued/in-flight request. */
+    sim::Tick estServiceTicks_ = 0;
     sim::EventId idleTimer_ = sim::kInvalidEventId;
     bool spinningUp_ = false;
 

@@ -68,8 +68,10 @@ const char *
 pdesUnsupportedReason(const array::ArrayParams &params)
 {
     if (params.layout == array::Layout::Raid1)
-        return "RAID-1 read routing consults live replica queue "
-               "depths, which admits no conservative lookahead window";
+        return "RAID-1 read routing prices replicas against live "
+               "drive state (arm positions, spindle phase, queue "
+               "depths), which admits no conservative lookahead "
+               "window";
     if (pdesLookahead(params) == 0)
         return "zero-lookahead spec: a completion can feed back into "
                "a submission with no minimum cross-drive latency "
@@ -281,7 +283,8 @@ PdesRun::mergePhase(sim::Tick horizon)
     for (std::size_t i = 0; i < merged_.size(); ++i)
         arraySim_.schedule(merged_[i].done, [this, i] {
             const OutRec &rec = merged_[i];
-            arr_->replaySubComplete(rec.sub, rec.done, rec.info);
+            arr_->replaySubComplete(rec.drive, rec.sub, rec.done,
+                                    rec.info);
         });
     arraySim_.runBefore(horizon);
 }

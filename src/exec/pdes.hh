@@ -34,8 +34,11 @@
  * full drive parallelism.
  *
  * Configurations with a zero-latency feedback path (RAID-5
- * read-modify-write without a bus, RAID-1's live queue-depth read
- * routing) admit no conservative window and are rejected up front
+ * read-modify-write without a bus, RAID-1's replica routing — which
+ * prices each replica off live drive state: arm positions and
+ * spindle phase under the positioning policy, queue depths under the
+ * legacy one, both mutated by in-window dispatches on other
+ * calendars) admit no conservative window and are rejected up front
  * with a clear error — see pdesUnsupportedReason().
  */
 

@@ -298,6 +298,55 @@ InvariantChecker::arrayJoin(std::uint64_t join_id, sim::Tick arrival,
 }
 
 void
+InvariantChecker::arraySubRange(std::uint32_t dev, std::uint64_t lba,
+                                std::uint32_t sectors,
+                                std::uint64_t disk_sectors)
+{
+    observations_.fetch_add(1, std::memory_order_relaxed);
+    std::ostringstream os;
+    os << "array: sub-request [" << lba << ", " << lba + sectors
+       << ") for disk " << dev << " lies beyond the member's "
+       << disk_sectors << " sectors -- fan-out math lost a request";
+    fail(os.str());
+}
+
+void
+InvariantChecker::rebuildChunk(std::uint64_t chunk)
+{
+    observations_.fetch_add(1, std::memory_order_relaxed);
+    auto [it, inserted] = rebuildWrites_.emplace(chunk, 0u);
+    (void)it;
+    if (!inserted) {
+        std::ostringstream os;
+        os << "rebuild: chunk " << chunk << " reconstructed twice";
+        fail(os.str());
+        return;
+    }
+    ++rebuildChunks_;
+}
+
+void
+InvariantChecker::rebuildSpareWrite(std::uint64_t chunk)
+{
+    observations_.fetch_add(1, std::memory_order_relaxed);
+    auto it = rebuildWrites_.find(chunk);
+    if (it == rebuildWrites_.end()) {
+        std::ostringstream os;
+        os << "rebuild: spare write for unannounced chunk " << chunk;
+        fail(os.str());
+        return;
+    }
+    if (++it->second > 1) {
+        std::ostringstream os;
+        os << "rebuild: chunk " << chunk << " written to the spare "
+           << it->second << " times (must be exactly once)";
+        fail(os.str());
+        return;
+    }
+    ++rebuildSpareWrites_;
+}
+
+void
 InvariantChecker::finalize()
 {
     for (std::size_t dev = 0; dev < disks_.size(); ++dev) {
@@ -324,6 +373,23 @@ InvariantChecker::finalize()
         std::ostringstream os;
         os << "array: " << joinsCreated_ << " splits vs "
            << joinsCompleted_ << " joins";
+        fail(os.str());
+    }
+    // Rebuilt-stripe conservation: every announced chunk got exactly
+    // one spare write (per-chunk over-writes fail at the hook; here
+    // the under-write side closes the identity).
+    if (rebuildChunks_ != rebuildSpareWrites_) {
+        std::ostringstream os;
+        os << "rebuild: " << rebuildChunks_ << " chunks vs "
+           << rebuildSpareWrites_ << " spare writes";
+        fail(os.str());
+    }
+    for (const auto &[chunk, writes] : rebuildWrites_) {
+        if (writes == 1)
+            continue;
+        std::ostringstream os;
+        os << "rebuild: chunk " << chunk << " saw " << writes
+           << " spare writes (must be exactly one)";
         fail(os.str());
     }
 }

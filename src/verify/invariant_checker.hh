@@ -98,6 +98,18 @@ class InvariantChecker
     void arraySubFinish(std::uint64_t join_id, sim::Tick done);
     void arrayJoin(std::uint64_t join_id, sim::Tick arrival,
                    sim::Tick done);
+    /** A fan-out sub-request fell outside the member disk. */
+    void arraySubRange(std::uint32_t dev, std::uint64_t lba,
+                       std::uint32_t sectors,
+                       std::uint64_t disk_sectors);
+
+    // -- rebuild engine ----------------------------------------------
+    /** Chunk reconstruction started. Each chunk index must be
+     *  announced exactly once. */
+    void rebuildChunk(std::uint64_t chunk);
+    /** The spare write for @p chunk was issued: exactly one per
+     *  announced chunk (the rebuilt-stripe conservation law). */
+    void rebuildSpareWrite(std::uint64_t chunk);
 
     /**
      * End-of-run conservation: every disk submit was completed, every
@@ -164,6 +176,10 @@ class InvariantChecker
     std::unordered_map<std::uint64_t, JoinState> joins_;
     std::uint64_t joinsCreated_ = 0;
     std::uint64_t joinsCompleted_ = 0;
+    /** Spare writes seen per announced rebuild chunk. */
+    std::unordered_map<std::uint64_t, std::uint32_t> rebuildWrites_;
+    std::uint64_t rebuildChunks_ = 0;
+    std::uint64_t rebuildSpareWrites_ = 0;
     /** Per-domain kernel clocks (see checkKernelTime). */
     std::vector<sim::Tick> kernelNow_;
 };

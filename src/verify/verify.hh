@@ -156,6 +156,36 @@ onArrayJoin(std::uint64_t join_id, sim::Tick arrival, sim::Tick done)
         vc->arrayJoin(join_id, arrival, done);
 }
 
+/** A fan-out produced a sub-request outside the member disk's
+ *  [0, sectors) range — layout math lost a request. */
+inline void
+onArraySubRange(std::uint32_t dev, std::uint64_t lba,
+                std::uint32_t sectors, std::uint64_t disk_sectors)
+{
+    if (InvariantChecker *vc = activeChecker())
+        vc->arraySubRange(dev, lba, sectors, disk_sectors);
+}
+
+// ---------------------------------------------------------------
+// Rebuild-engine hooks (spare reconstruction conservation)
+// ---------------------------------------------------------------
+
+/** Reconstruction of chunk @p chunk started (reads issued). */
+inline void
+onRebuildChunk(std::uint64_t chunk)
+{
+    if (InvariantChecker *vc = activeChecker())
+        vc->rebuildChunk(chunk);
+}
+
+/** The spare write materializing chunk @p chunk was issued. */
+inline void
+onRebuildSpareWrite(std::uint64_t chunk)
+{
+    if (InvariantChecker *vc = activeChecker())
+        vc->rebuildSpareWrite(chunk);
+}
+
 } // namespace verify
 } // namespace idp
 

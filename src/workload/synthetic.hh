@@ -29,8 +29,14 @@ struct SyntheticParams
     /** Request size range, sectors (uniform; 8..64 = 4..32 KB). */
     std::uint32_t minSectors = 8;
     std::uint32_t maxSectors = 64;
-    /** Logical address space the requests cover, in sectors. */
-    std::uint64_t addressSpaceSectors = 1465ULL * 1000 * 1000;
+    /**
+     * Logical address space the requests cover, in sectors. The
+     * default fits inside the smallest single-drive target (the
+     * 750 GB Barracuda's 1,464,855,488 sectors): a request landing
+     * beyond a member's capacity is a fan-out verify violation, not
+     * a silent clamp.
+     */
+    std::uint64_t addressSpaceSectors = 1464ULL * 1000 * 1000;
     std::uint64_t seed = 0x5EED5EED;
 };
 

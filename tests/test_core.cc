@@ -91,7 +91,9 @@ TEST(Runner, MoreDisksFasterUnderLoad)
     workload::SyntheticParams wp;
     wp.requests = 4000;
     wp.meanInterArrivalMs = 2.0;
-    wp.addressSpaceSectors = 4000000;
+    // Within the 2 GB member disk (~3.91M sectors): out-of-range
+    // sub-requests are a verify violation now, not a silent clamp.
+    wp.addressSpaceSectors = 3900000;
     const auto trace = workload::generateSynthetic(wp);
 
     const disk::DriveSpec drive = disk::enterpriseDrive(2.0, 10000, 2);
@@ -109,7 +111,7 @@ TEST(Runner, IntraDiskParallelismHelpsUnderLoad)
     workload::SyntheticParams wp;
     wp.requests = 4000;
     wp.meanInterArrivalMs = 3.0;
-    wp.addressSpaceSectors = 4000000;
+    wp.addressSpaceSectors = 3900000;
     const auto trace = workload::generateSynthetic(wp);
 
     const disk::DriveSpec conv = disk::enterpriseDrive(2.0, 10000, 2);

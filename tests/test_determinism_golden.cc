@@ -27,8 +27,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "array/rebuild.hh"
+#include "array/storage_array.hh"
 #include "core/csv_export.hh"
 #include "core/experiment.hh"
+#include "stats/table.hh"
 #include "workload/synthetic.hh"
 
 namespace {
@@ -196,6 +199,121 @@ TEST_P(PdesGolden, MatrixMatchesGoldenFileAtEveryWorkerCount)
 
 INSTANTIATE_TEST_SUITE_P(Matrix, PdesGolden,
                          testing::Values("sa1", "sa4", "raid5"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+// ---------------------------------------------------------------
+// Failure-lifecycle goldens: degraded RAID-5 (a member fails mid-run
+// with work in flight) and rebuilding RAID-1 (spare reconstruction
+// streams under foreground traffic). runTrace has no failure hook, so
+// these drive a Simulator + StorageArray directly and pin a summary
+// CSV of the response/accounting numbers.
+// ---------------------------------------------------------------
+
+std::string
+runFailureScenario(const std::string &name)
+{
+    const bool rebuilding = name == "rebuild_raid1";
+    array::ArrayParams params;
+    params.drive = disk::enterpriseDrive(1.0, 10000, 2);
+    if (rebuilding) {
+        params.layout = array::Layout::Raid1;
+        params.disks = 2;
+    } else {
+        params.layout = array::Layout::Raid5;
+        params.disks = 4;
+        params.stripeSectors = 16;
+    }
+
+    sim::Simulator simul;
+    std::uint64_t completions = 0;
+    array::StorageArray arr(
+        simul, params,
+        [&completions](const workload::IoRequest &, sim::Tick) {
+            ++completions;
+        });
+
+    workload::SyntheticParams wp;
+    wp.requests = 2000;
+    wp.meanInterArrivalMs = 2.0;
+    wp.addressSpaceSectors = arr.logicalSectors() - 64;
+    wp.seed = 0xFA11;
+    const auto trace = workload::generateSynthetic(wp);
+    for (const auto &req : trace)
+        simul.schedule(req.arrival, [&arr, req] { arr.submit(req); });
+
+    if (rebuilding) {
+        arr.failDisk(0);
+        array::RebuildParams rp;
+        rp.chunkSectors = 65536;
+        arr.startRebuild(0, rp);
+    } else {
+        simul.schedule(50 * sim::kTicksPerMs,
+                       [&arr] { arr.failDisk(1); });
+    }
+    simul.run();
+    arr.sealStats();
+
+    const array::ArrayStats &st = arr.stats();
+    std::ostringstream os;
+    os << "scenario,completions,dropped,tainted,samples,"
+          "mean_ms,p90_ms,p99_ms\n";
+    os << name << ',' << completions << ','
+       << st.droppedSubCompletions << ',' << st.taintedJoins << ','
+       << st.responseMs.count() << ',' << stats::fmt(st.responseMs.mean(), 4)
+       << ',' << stats::fmt(st.responseMs.p90(), 4) << ','
+       << stats::fmt(st.responseMs.p99(), 4) << '\n';
+    if (rebuilding) {
+        const auto &prog = arr.rebuild()->progress();
+        os << "rebuild,chunks,reads,spare_writes,yields,window_ms\n";
+        os << "rebuild," << prog.chunksDone << ',' << prog.readSubs
+           << ',' << prog.spareWrites << ',' << prog.yields << ','
+           << stats::fmt(
+                  sim::ticksToMs(prog.finishedAt - prog.startedAt), 4)
+           << '\n';
+    }
+    return os.str();
+}
+
+class FailureGolden : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FailureGolden, ScenarioMatchesGoldenFile)
+{
+    const std::string name = GetParam();
+    const std::string path = std::string(IDP_SOURCE_DIR) +
+        "/tests/golden/determinism_" + name + ".csv";
+    const std::string measured = runFailureScenario(name);
+
+    if (std::getenv("IDP_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream os(path);
+        ASSERT_TRUE(os) << "cannot write " << path;
+        os << measured;
+        GTEST_SKIP() << "golden file refreshed: " << path;
+    }
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is) << "missing golden file " << path
+                    << " — generate it with IDP_UPDATE_GOLDEN=1";
+    std::stringstream golden;
+    golden << is.rdbuf();
+    EXPECT_EQ(golden.str(), measured)
+        << "failure-lifecycle output drifted from " << path
+        << "\nIf this change is intentional, refresh with "
+           "IDP_UPDATE_GOLDEN=1 and review the diff.";
+}
+
+TEST_P(FailureGolden, ScenarioIsRunToRunStable)
+{
+    EXPECT_EQ(runFailureScenario(GetParam()),
+              runFailureScenario(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lifecycle, FailureGolden,
+                         testing::Values("degraded_raid5",
+                                         "rebuild_raid1"),
                          [](const auto &info) {
                              return std::string(info.param);
                          });

@@ -175,7 +175,9 @@ TEST_P(PolicyArmSweep, DrainsUnderLoad)
     workload::SyntheticParams wp;
     wp.requests = 2500;
     wp.meanInterArrivalMs = 5.0;
-    wp.addressSpaceSectors = 10000000;
+    // Within the 2 GB member disk: out-of-range sub-requests are a
+    // verify violation now, not a silent relocation.
+    wp.addressSpaceSectors = 3900000;
     const auto trace = workload::generateSynthetic(wp);
     core::SystemConfig config = core::makeRaid0System(
         "sweep",

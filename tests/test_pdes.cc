@@ -89,7 +89,7 @@ TEST(PdesLookahead, ZeroLookaheadSpecsAreNamed)
     raid1.array.drive = disk::barracudaEs750();
     ASSERT_NE(exec::pdesUnsupportedReason(raid1.array), nullptr);
     EXPECT_NE(std::string(exec::pdesUnsupportedReason(raid1.array))
-                  .find("queue depths"),
+                  .find("prices replicas against live drive state"),
               std::string::npos);
 }
 
