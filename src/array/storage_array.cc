@@ -125,6 +125,22 @@ StorageArray::StorageArray(sim::Simulator &simul,
         logicalSectors_ = diskSectors_ * (params_.disks - 1);
         break;
     }
+
+    const power::GovernorParams gov =
+        power::applyGovernorEnv(params_.governor);
+    if (gov.enabled) {
+        // The governor mutates spindle speed at runtime; the PDES
+        // bridge's windowed execution cannot see those transitions
+        // across calendars, so it rejects governed runs up front.
+        sim::simAssert(bridge_ == nullptr,
+                       "array: energy governor requires a serial run");
+        std::vector<disk::DiskDrive *> members;
+        members.reserve(disks_.size());
+        for (auto &d : disks_)
+            members.push_back(d.get());
+        governor_ = std::make_unique<power::Governor>(
+            sim_, gov, std::move(members));
+    }
 }
 
 StorageArray::~StorageArray() = default;
@@ -296,6 +312,8 @@ StorageArray::submit(const workload::IoRequest &req)
 {
     ++stats_.logicalArrivals;
     telemetry::bump(ctrLogical_);
+    if (governor_)
+        governor_->noteActivity();
     // Fan-out marker; sub-request spans carry the join id instead of
     // the logical id, so the instant ties the two id spaces together.
     telemetry::emitInstant(req.id, telemetry::SpanKind::RaidSplit,
@@ -613,6 +631,8 @@ StorageArray::finishSub(std::uint64_t join_id, sim::Tick done,
         const double resp_ms = sim::ticksToMs(done - logical.arrival);
         stats_.responseMs.add(resp_ms);
         stats_.responseHist.add(resp_ms);
+        if (governor_)
+            governor_->onCompletion(resp_ms);
     }
     if (onComplete_)
         onComplete_(logical, done);
@@ -621,10 +641,17 @@ StorageArray::finishSub(std::uint64_t join_id, sim::Tick done,
 power::PowerBreakdown
 StorageArray::finishPower()
 {
+    if (governor_)
+        governor_->stop();
     power::PowerBreakdown total;
     for (auto &d : disks_) {
         power::PowerModel model(d->spec().power);
-        total.merge(model.integrate(d->finishModeTimes()));
+        // Per-RPM-segment integration: a governed drive is priced at
+        // whatever speed each stretch of the run actually ran at. A
+        // run that never shifts produces one segment and integrates
+        // bit-identically to the historical whole-run path.
+        total.merge(
+            model.integrateSegments(d->finishModeSegments()));
     }
     return total;
 }

@@ -30,6 +30,7 @@
 
 #include "bus/bus.hh"
 #include "disk/disk_drive.hh"
+#include "power/governor.hh"
 #include "power/power_model.hh"
 #include "stats/histogram.hh"
 #include "stats/sampler.hh"
@@ -93,6 +94,13 @@ struct ArrayParams
      */
     bool useBus = false;
     bus::BusParams bus;
+
+    /**
+     * Online energy governor (power::Governor): per-drive RPM and
+     * actuator-parking control under a latency SLO. Disabled by
+     * default; serial runs only (the PDES bridge rejects it).
+     */
+    power::GovernorParams governor;
 };
 
 /** Completion callback for a *logical* request. */
@@ -214,6 +222,9 @@ class StorageArray
      *  startRebuild. Exposes progress telemetry. */
     const RebuildEngine *rebuild() const { return rebuild_.get(); }
 
+    /** The energy governor, when enabled (null otherwise). */
+    const power::Governor *governor() const { return governor_.get(); }
+
     /**
      * Deconfigure one arm assembly of member @p disk_idx (Section 8
      * graceful degradation inside a member drive). Forwards to
@@ -277,6 +288,7 @@ class StorageArray
     /** Effective RAID-1 read policy (params + IDP_REPLICA). */
     ReplicaPolicy replicaPolicy_ = ReplicaPolicy::Positioning;
     std::unique_ptr<RebuildEngine> rebuild_;
+    std::unique_ptr<power::Governor> governor_;
     ArrayStats stats_;
     /** Registry handles (null when no registry is installed). */
     telemetry::Counter *ctrLogical_ = nullptr;

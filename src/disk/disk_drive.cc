@@ -60,6 +60,7 @@ DiskDrive::DiskDrive(sim::Simulator &simul, const DriveSpec &spec,
     };
     estServiceTicks_ = seekLbTicks(geometry_.cylinders() / 3) +
         spindle_.periodTicks() / 2;
+    desiredRpm_ = spec_.rpm;
 }
 
 sim::Tick
@@ -73,7 +74,7 @@ DiskDrive::readPriceTicks(geom::Lba lba, std::uint32_t sectors) const
     sim::Tick best = sim::kTickNever;
     for (std::uint32_t k = 0;
          k < static_cast<std::uint32_t>(arms_.size()); ++k) {
-        if (arms_[k].failed)
+        if (arms_[k].failed || arms_[k].parked)
             continue;
         const std::uint32_t cyl = arms_[k].cylinder;
         const std::uint32_t dist =
@@ -113,6 +114,134 @@ DiskDrive::aliveArms() const
         if (!arm.failed)
             ++alive;
     return alive;
+}
+
+void
+DiskDrive::parkArm(std::uint32_t k)
+{
+    sim::simAssert(k < arms_.size(), "parkArm: bad arm index");
+    Arm &arm = arms_[k];
+    sim::simAssert(!arm.failed, "parkArm: arm is deconfigured");
+    sim::simAssert(!arm.busy, "parkArm: arm is mid-service");
+    if (arm.parked)
+        return;
+    std::uint32_t serviceable = 0;
+    for (const auto &a : arms_)
+        if (!a.failed && !a.parked)
+            ++serviceable;
+    sim::simAssert(serviceable > 1,
+                   "parkArm: cannot park the last serviceable arm");
+    arm.parked = true;
+    ++stats_.armParks;
+    modes_.armParked(sim_.now());
+}
+
+void
+DiskDrive::unparkArm(std::uint32_t k)
+{
+    sim::simAssert(k < arms_.size(), "unparkArm: bad arm index");
+    Arm &arm = arms_[k];
+    if (!arm.parked)
+        return;
+    arm.parked = false;
+    ++stats_.armUnparks;
+    modes_.armUnparked(sim_.now());
+    tryDispatch();
+}
+
+std::uint32_t
+DiskDrive::parkedArms() const
+{
+    std::uint32_t parked = 0;
+    for (const auto &arm : arms_)
+        if (arm.parked)
+            ++parked;
+    return parked;
+}
+
+bool
+DiskDrive::armParked(std::uint32_t k) const
+{
+    sim::simAssert(k < arms_.size(), "armParked: bad arm index");
+    return arms_[k].parked;
+}
+
+bool
+DiskDrive::armBusy(std::uint32_t k) const
+{
+    sim::simAssert(k < arms_.size(), "armBusy: bad arm index");
+    return arms_[k].busy;
+}
+
+void
+DiskDrive::requestRpm(std::uint32_t rpm)
+{
+    sim::simAssert(rpm > 0, "requestRpm: rpm must be > 0");
+    if (rpm == desiredRpm_)
+        return;
+    desiredRpm_ = rpm;
+    maybeStartRpmShift();
+}
+
+void
+DiskDrive::maybeStartRpmShift()
+{
+    if (rpmShifting_ || spinningDown_ || spinningUp_ ||
+        desiredRpm_ == spindle_.rpm())
+        return;
+    if (modes_.spunDown()) {
+        // The spindle is stopped: record the new speed now at no ramp
+        // cost — the upcoming spin-up pays the acceleration either
+        // way. The segment change keeps standby billing correct (a
+        // stopped spindle draws no speed-dependent power).
+        applyRpm(sim_.now(), desiredRpm_);
+        return;
+    }
+    if (activeCount_ != 0)
+        return; // drain first; completeActive retries
+    sim_.cancel(idleTimer_);
+    idleTimer_ = sim::kInvalidEventId;
+    rpmShifting_ = true;
+    shiftTo_ = desiredRpm_;
+    ++stats_.rpmShifts;
+    // The ramp is billed at the higher of the two speeds: open a
+    // transition segment now, closed again when the new speed lands.
+    modes_.rpmChange(sim_.now(),
+                     std::max(spindle_.rpm(), shiftTo_));
+    telemetry::emitSpan(0, telemetry::SpanKind::SpinUp, sim_.now(),
+                        sim_.now() + sim::msToTicks(spec_.rpmShiftMs),
+                        telemetryId_);
+    sim_.scheduleAfter(sim::msToTicks(spec_.rpmShiftMs),
+                       [this] { completeRpmShift(); });
+}
+
+void
+DiskDrive::completeRpmShift()
+{
+    rpmShifting_ = false;
+    applyRpm(sim_.now(), shiftTo_);
+    // The governor may have retargeted mid-ramp.
+    maybeStartRpmShift();
+    tryDispatch();
+    maybeDestage();
+    armIdleTimer();
+}
+
+void
+DiskDrive::applyRpm(sim::Tick now, std::uint32_t rpm)
+{
+    spindle_.setRpm(now, rpm);
+    modes_.rpmChange(now, rpm);
+    // Re-derive every period-derived constant cached across the run.
+    estServiceTicks_ = seekLbTicks(geometry_.cylinders() / 3) +
+        spindle_.periodTicks() / 2;
+    // Positioning-cost cache: the rotational halves were computed
+    // under the old period (and the seek halves are cheap) — drop
+    // everything rather than reason about which rows survive.
+    for (auto &e : costCache_) {
+        e.seekValid = false;
+        e.rotValid = false;
+    }
 }
 
 sim::Tick
@@ -478,7 +607,7 @@ void
 DiskDrive::armIdleTimer()
 {
     if (spec_.spinDownAfterMs <= 0.0 || modes_.spunDown() ||
-        spinningUp_ || !idle())
+        spinningUp_ || spinningDown_ || rpmShifting() || !idle())
         return;
     sim_.cancel(idleTimer_);
     idleTimer_ = sim_.scheduleAfter(
@@ -490,10 +619,38 @@ void
 DiskDrive::onIdleTimeout()
 {
     idleTimer_ = sim::kInvalidEventId;
-    if (!idle() || modes_.spunDown() || spinningUp_)
+    if (!idle() || modes_.spunDown() || spinningUp_ ||
+        spinningDown_ || rpmShifting())
         return;
-    modes_.spinDown(sim_.now());
     ++stats_.spinDowns;
+    if (spec_.spinDownMs <= 0.0) {
+        // Historical instantaneous stop.
+        modes_.spinDown(sim_.now());
+        return;
+    }
+    // Model the deceleration: the drive serves nothing while the
+    // transition is in flight, and standby billing starts only when
+    // the platters actually stop.
+    spinningDown_ = true;
+    sim_.scheduleAfter(sim::msToTicks(spec_.spinDownMs),
+                       [this] { onSpinDownComplete(); });
+}
+
+void
+DiskDrive::onSpinDownComplete()
+{
+    spinningDown_ = false;
+    modes_.spinDown(sim_.now());
+    // A governor retarget that arrived mid-transition applies now at
+    // no cost (the spindle is stopped).
+    maybeStartRpmShift();
+    if (!idle()) {
+        // A request arrived while the transition was in flight: it
+        // waited out the remaining deceleration and now pays a full
+        // spin-up on top — never priced at the old speed, never
+        // served half-stopped.
+        beginSpinUpIfNeeded();
+    }
 }
 
 void
@@ -512,6 +669,7 @@ DiskDrive::beginSpinUpIfNeeded()
     sim_.scheduleAfter(sim::msToTicks(spec_.spinUpMs), [this] {
         modes_.spinUp(sim_.now());
         spinningUp_ = false;
+        maybeStartRpmShift();
         tryDispatch();
     });
 }
@@ -528,7 +686,12 @@ DiskDrive::totalSectors(const Active &active) const
 void
 DiskDrive::tryDispatch()
 {
-    if (modes_.spunDown() || spinningUp_)
+    // rpmShifting() also covers the drain phase: a requested speed
+    // change holds new dispatches so in-flight work never straddles
+    // an RPM segment boundary (its predicted rotational waits and
+    // transfer sweeps would be priced at a dead speed).
+    if (modes_.spunDown() || spinningUp_ || spinningDown_ ||
+        rpmShifting())
         return;
     while ((fgList_.size != 0 || bgList_.size != 0) &&
            activeSeeks_ < spec_.maxConcurrentSeeks) {
@@ -536,7 +699,8 @@ DiskDrive::tryDispatch()
         idleArms_.clear();
         for (std::uint32_t k = 0;
              k < static_cast<std::uint32_t>(arms_.size()); ++k) {
-            if (!arms_[k].busy && !arms_[k].failed)
+            if (!arms_[k].busy && !arms_[k].failed &&
+                !arms_[k].parked)
                 idleArms_.push_back(
                     {k, arms_[k].cylinder, arms_[k].azimuth});
         }
@@ -925,6 +1089,9 @@ DiskDrive::completeActive(std::uint64_t id)
             record(rider);
     }
 
+    // A pending speed change starts its ramp the moment the drive
+    // drains (dispatches are already gated).
+    maybeStartRpmShift();
     tryDispatch();
     maybeDestage();
     armIdleTimer();
@@ -956,6 +1123,23 @@ stats::ModeTimes
 DiskDrive::finishModeTimes()
 {
     return modes_.finish(sim_.now());
+}
+
+std::vector<stats::RpmSegment>
+DiskDrive::finishModeSegments()
+{
+    const stats::ModeTimes total = modes_.finish(sim_.now());
+    std::vector<stats::RpmSegment> segs =
+        modes_.finishSegments(sim_.now());
+    if (verify::activeChecker() != nullptr) {
+        stats::ModeTimes seg_sum;
+        for (const auto &seg : segs)
+            seg_sum.merge(seg.times);
+        verify::onModeAccounting(
+            telemetryId_, total, seg_sum,
+            static_cast<std::uint32_t>(arms_.size()));
+    }
+    return segs;
 }
 
 stats::ModeTimes

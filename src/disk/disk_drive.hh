@@ -93,6 +93,9 @@ struct DriveStats
     std::uint64_t hardErrors = 0;        ///< retry budget exhausted
     std::uint64_t spinDowns = 0;         ///< power-mgmt spindle stops
     std::uint64_t spinUps = 0;
+    std::uint64_t rpmShifts = 0;         ///< runtime RPM transitions
+    std::uint64_t armParks = 0;          ///< actuator park events
+    std::uint64_t armUnparks = 0;
 
     stats::SampleSet responseMs{1u << 20};
     stats::SampleSet seekMs{1u << 18};
@@ -169,6 +172,14 @@ class DiskDrive
     /** Close mode accounting at the current time and return totals. */
     stats::ModeTimes finishModeTimes();
 
+    /**
+     * Close mode accounting and return the per-RPM-segment breakdown
+     * the power model prices segment-by-segment. Also feeds the
+     * verify layer's mode/energy conservation check (segments must
+     * tile the totals exactly).
+     */
+    std::vector<stats::RpmSegment> finishModeSegments();
+
     /** Snapshot of mode accounting without closing. */
     stats::ModeTimes modeTimesSnapshot() const;
 
@@ -206,8 +217,54 @@ class DiskDrive
     /** Healthy (still configured) arm count. */
     std::uint32_t aliveArms() const;
 
+    /**
+     * Park / unpark arm assembly @p k (actuator power management).
+     * A parked arm is excluded from dispatch and replica pricing but
+     * stays configured — unparking restores it, unlike failArm.
+     * Parking requires the arm idle (not mid-service) and at least
+     * one other serviceable arm; both are caller errors otherwise.
+     */
+    void parkArm(std::uint32_t k);
+    void unparkArm(std::uint32_t k);
+
+    /** Currently parked arm count. */
+    std::uint32_t parkedArms() const;
+
+    /** True if arm @p k is parked. */
+    bool armParked(std::uint32_t k) const;
+
+    /** True if arm @p k is servicing a request (governor must not
+     *  park a busy arm). */
+    bool armBusy(std::uint32_t k) const;
+
+    /**
+     * Request a runtime spindle-speed change (the energy governor's
+     * actuation point). The drive drains in-flight requests (new
+     * dispatches are gated), serves nothing for spec().rpmShiftMs
+     * while the spindle ramps, then resumes at the new speed with all
+     * period-derived pricing re-derived and the positioning-cost
+     * cache invalidated. Requests arriving during the ramp queue and
+     * are priced at the new speed. While spun down the change is
+     * recorded instantly (the spin-up pays the ramp). A repeated
+     * request for the current speed is a no-op.
+     */
+    void requestRpm(std::uint32_t rpm);
+
+    /** Current spindle speed (the last applied requestRpm). */
+    std::uint32_t currentRpm() const { return spindle_.rpm(); }
+
+    /** True while an RPM ramp is in flight or a drain is pending. */
+    bool
+    rpmShifting() const
+    {
+        return rpmShifting_ || desiredRpm_ != spindle_.rpm();
+    }
+
     /** True while the spindle is stopped (spin-down power mgmt). */
     bool spunDown() const { return modes_.spunDown(); }
+
+    /** True while a spin-down transition is in flight. */
+    bool spinningDown() const { return spinningDown_; }
 
     /**
      * Physical disk index reported in telemetry spans (set by the
@@ -373,6 +430,7 @@ class DiskDrive
         double azimuth = 0.0;
         bool busy = false;
         bool failed = false; ///< deconfigured by failArm()
+        bool parked = false; ///< power-managed; reversible
     };
 
     /**
@@ -476,6 +534,13 @@ class DiskDrive
     sim::Tick estServiceTicks_ = 0;
     sim::EventId idleTimer_ = sim::kInvalidEventId;
     bool spinningUp_ = false;
+    /** Spin-down transition in flight (spec_.spinDownMs > 0). */
+    bool spinningDown_ = false;
+    /** Speed the last requestRpm asked for (init: spec rpm). */
+    std::uint32_t desiredRpm_ = 0;
+    /** RPM ramp in flight, and its target. */
+    bool rpmShifting_ = false;
+    std::uint32_t shiftTo_ = 0;
 
     std::uint32_t totalSectors(const Active &active) const;
     void tryDispatch();
@@ -515,7 +580,15 @@ class DiskDrive
                                 const sched::ArmView &arm);
     void armIdleTimer();
     void onIdleTimeout();
+    void onSpinDownComplete();
     void beginSpinUpIfNeeded();
+    /** Start the pending RPM ramp if the drive is quiescent (or apply
+     *  instantly while spun down). Safe to call opportunistically. */
+    void maybeStartRpmShift();
+    void completeRpmShift();
+    /** Switch the spindle at @p now and re-derive every period-derived
+     *  constant (service pricing, positioning-cost cache). */
+    void applyRpm(sim::Tick now, std::uint32_t rpm);
     /** Feed the arm/seek/channel occupancy to the invariant checker
      *  (no-op when none is installed). */
     void verifyOccupancy() const;

@@ -140,6 +140,24 @@ struct DriveSpec
      */
     double spinDownAfterMs = 0.0;
     double spinUpMs = 6000.0;
+    /**
+     * Duration of the spin-down transition itself (0 = the historical
+     * instantaneous stop). While the transition is in flight the drive
+     * serves nothing; a request arriving mid-transition waits out the
+     * remaining transition AND a full spin-up — it is never priced at
+     * the old speed or served half-stopped.
+     */
+    double spinDownMs = 0.0;
+
+    /**
+     * Ramp duration of a runtime RPM change (DiskDrive::requestRpm /
+     * the energy governor). The drive first drains its in-flight
+     * requests (new dispatches are gated), then serves nothing for
+     * this long while the spindle settles at the new speed. The ramp
+     * is billed at the higher of the two speeds (deceleration still
+     * dissipates; acceleration draws more).
+     */
+    double rpmShiftMs = 400.0;
 
     /** Sync dependent fields (power.actuators, power.rpm, ...). */
     void normalize();

@@ -8,6 +8,7 @@
 #include "bus/bus.hh"
 #include "exec/sweep_runner.hh"
 #include "geom/geometry.hh"
+#include "power/governor.hh"
 #include "sim/logging.hh"
 #include "telemetry/telemetry.hh"
 #include "verify/verify.hh"
@@ -77,6 +78,12 @@ pdesUnsupportedReason(const array::ArrayParams &params)
                "a submission with no minimum cross-drive latency "
                "(RAID-5 read-modify-write needs useBus with a "
                "positive transfer latency)";
+    if (power::applyGovernorEnv(params.governor).enabled)
+        return "the energy governor observes array-wide tail latency "
+               "and retargets spindle speeds at runtime — cross-drive "
+               "feedback with no conservative lookahead window; run "
+               "governed configurations serially (IDP_THREADS=1 "
+               "in-run parallelism is still available)";
     return nullptr;
 }
 

@@ -22,11 +22,36 @@ Spindle::periodMs() const
     return sim::ticksToMs(period_);
 }
 
+void
+Spindle::setRpm(sim::Tick at, std::uint32_t rpm)
+{
+    sim::simAssert(rpm > 0, "spindle: rpm must be > 0");
+    sim::simAssert(at >= segStart_,
+                   "spindle: setRpm before current segment start");
+    // Angle continuity: the new segment picks up exactly where the
+    // old one left the platter.
+    segAngle_ = rotationAt(at);
+    segStart_ = at;
+    rpm_ = rpm;
+    period_ = static_cast<sim::Tick>(
+        60.0 * static_cast<double>(sim::kTicksPerSec) /
+            static_cast<double>(rpm) +
+        0.5);
+    ++segments_;
+}
+
 double
 Spindle::rotationAt(sim::Tick t) const
 {
-    return static_cast<double>(t % period_) /
+    sim::simAssert(t >= segStart_,
+                   "spindle: rotation query before segment start");
+    const double turn =
+        static_cast<double>((t - segStart_) % period_) /
         static_cast<double>(period_);
+    // frac(segAngle_ + turn); segAngle_ is 0 for the initial segment,
+    // keeping the single-segment case exactly (t % period) / period.
+    const double angle = segAngle_ + turn;
+    return angle >= 1.0 ? angle - 1.0 : angle;
 }
 
 sim::Tick

@@ -2,9 +2,15 @@
  * @file
  * Spindle rotation model.
  *
- * Tracks the platter stack's angular position as a pure function of
- * time (constant RPM). All heads share one spindle; multi-actuator
- * designs differ only in each actuator's fixed chassis azimuth.
+ * Tracks the platter stack's angular position under piecewise-constant
+ * RPM: the speed is fixed within a segment and may change at segment
+ * boundaries (setRpm), with the rotation angle continuous across the
+ * change — the platter does not teleport when a governor shifts speed.
+ * Within a segment, rotation is an exact integer-modulo function of
+ * the ticks elapsed since the segment started, so a run that never
+ * changes speed is bit-identical to the historical constant-RPM model.
+ * All heads share one spindle; multi-actuator designs differ only in
+ * each actuator's fixed chassis azimuth.
  *
  * Conventions: angles are in revolutions, [0, 1). The platter point
  * with platter-fixed angle `a` sits under a head at chassis azimuth
@@ -23,22 +29,40 @@
 namespace idp {
 namespace mech {
 
-/** Constant-speed spindle. */
+/** Piecewise-constant-speed spindle. */
 class Spindle
 {
   public:
     /** @param rpm rotational speed, revolutions per minute (> 0). */
     explicit Spindle(std::uint32_t rpm);
 
+    /** Current segment's speed. */
     std::uint32_t rpm() const { return rpm_; }
 
-    /** One revolution, in ticks. */
+    /** One revolution at the current segment's speed, in ticks. */
     sim::Tick periodTicks() const { return period_; }
 
-    /** One revolution, in milliseconds. */
+    /** One revolution at the current segment's speed, in ms. */
     double periodMs() const;
 
-    /** Rotation angle at time @p t, in revolutions [0, 1). */
+    /**
+     * Switch to @p rpm at time @p at, starting a new segment whose
+     * initial angle is the old segment's rotation at @p at (angle
+     * continuity). @p at must not precede the current segment's start;
+     * all subsequent queries must be at t >= @p at. Callers are
+     * responsible for any transition-ramp modeling — the spindle
+     * itself changes speed instantaneously at the boundary.
+     */
+    void setRpm(sim::Tick at, std::uint32_t rpm);
+
+    /** Segments so far (1 until the first setRpm). */
+    std::uint32_t segmentCount() const { return segments_; }
+
+    /** Start tick of the current segment. */
+    sim::Tick segmentStart() const { return segStart_; }
+
+    /** Rotation angle at time @p t, in revolutions [0, 1). @p t must
+     *  not precede the current segment's start. */
     double rotationAt(sim::Tick t) const;
 
     /**
@@ -49,12 +73,19 @@ class Spindle
     sim::Tick waitFor(sim::Tick now, double sector_angle,
                       double head_azimuth) const;
 
-    /** Ticks to sweep @p revolutions of rotation (e.g. a transfer). */
+    /** Ticks to sweep @p revolutions of rotation (e.g. a transfer)
+     *  at the current segment's speed. */
     sim::Tick sweepTicks(double revolutions) const;
 
   private:
     std::uint32_t rpm_;
     sim::Tick period_;
+    /** Current segment: start tick and the angle at that tick. The
+     *  initial segment starts at tick 0 with angle 0, making the
+     *  single-segment case bit-identical to the constant-RPM model. */
+    sim::Tick segStart_ = 0;
+    double segAngle_ = 0.0;
+    std::uint32_t segments_ = 1;
 };
 
 } // namespace mech

@@ -88,9 +88,46 @@ PowerModel::integrate(const stats::ModeTimes &times) const
         base * t_xfer +
         params_.channelActiveW * secs(times.channelSeconds);
 
+    if (params_.actuatorIdleW > 0.0) {
+        // Servo-hold power of every loaded (unparked) actuator,
+        // attributed to the idle bucket: it is paid regardless of the
+        // wall mode and saved only by parking.
+        const double loaded_secs =
+            secs(static_cast<sim::Tick>(params_.actuators) *
+                 times.total) -
+            secs(times.parkedTicks);
+        out.energyJ[static_cast<std::size_t>(DiskMode::Idle)] +=
+            params_.actuatorIdleW * loaded_secs;
+    }
+
     for (double e : out.energyJ)
         out.totalEnergyJ += e;
     out.wallSeconds = secs(times.total);
+    return out;
+}
+
+PowerBreakdown
+PowerModel::integrateSegments(
+    const std::vector<stats::RpmSegment> &segs) const
+{
+    PowerBreakdown out;
+    for (const auto &seg : segs) {
+        PowerBreakdown part;
+        if (seg.rpm == 0 || seg.rpm == params_.rpm) {
+            part = integrate(seg.times);
+        } else {
+            PowerParams p = params_;
+            p.rpm = seg.rpm;
+            part = PowerModel(p).integrate(seg.times);
+        }
+        // Segments of one drive are consecutive in time, so wall
+        // times SUM (unlike PowerBreakdown::merge, whose max is for
+        // disks running side by side).
+        for (std::size_t i = 0; i < stats::kNumDiskModes; ++i)
+            out.energyJ[i] += part.energyJ[i];
+        out.totalEnergyJ += part.totalEnergyJ;
+        out.wallSeconds += part.wallSeconds;
+    }
     return out;
 }
 

@@ -20,6 +20,7 @@
 #define IDP_POWER_POWER_MODEL_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "stats/mode_tracker.hh"
 
@@ -38,6 +39,13 @@ struct PowerParams
     double electronicsW = 2.5;
     /** Incremental data-channel power while a head transfers, watts. */
     double channelActiveW = 1.7;
+    /**
+     * Per-actuator servo/hold power while an arm is loaded (unparked),
+     * watts. Parked arms shed it — the saving the governor's actuator
+     * parking buys. 0 (the default) disables the term entirely, which
+     * keeps historical energy figures bit-identical.
+     */
+    double actuatorIdleW = 0.0;
 
     /** Spindle coefficient: spm = coef * D^4.6 * (rpm/1000)^2.8 * P. */
     double spmCoef = 1.6439e-5;
@@ -112,6 +120,16 @@ class PowerModel
 
     /** Integrate measured mode times into energy, per mode. */
     PowerBreakdown integrate(const stats::ModeTimes &times) const;
+
+    /**
+     * Integrate a per-RPM-segment breakdown (ModeTracker::
+     * finishSegments): each segment is priced with the spindle law
+     * evaluated at that segment's speed (rpm 0 = this model's nominal
+     * speed), and the segments' energies and wall times sum. A
+     * single-segment run integrates bit-identically to integrate().
+     */
+    PowerBreakdown
+    integrateSegments(const std::vector<stats::RpmSegment> &segs) const;
 
     const PowerParams &params() const { return params_; }
 

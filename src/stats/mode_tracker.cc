@@ -13,7 +13,31 @@ ModeTimes::merge(const ModeTimes &other)
     vcmSeconds += other.vcmSeconds;
     channelSeconds += other.channelSeconds;
     standbyTicks += other.standbyTicks;
+    parkedTicks += other.parkedTicks;
     total += other.total;
+}
+
+ModeTimes
+ModeTimes::delta(const ModeTimes &a, const ModeTimes &b)
+{
+    ModeTimes out;
+    for (std::size_t i = 0; i < kNumDiskModes; ++i) {
+        sim::simAssert(a.wall[i] >= b.wall[i],
+                       "ModeTimes::delta: non-monotone wall");
+        out.wall[i] = a.wall[i] - b.wall[i];
+    }
+    sim::simAssert(a.vcmSeconds >= b.vcmSeconds &&
+                       a.channelSeconds >= b.channelSeconds &&
+                       a.standbyTicks >= b.standbyTicks &&
+                       a.parkedTicks >= b.parkedTicks &&
+                       a.total >= b.total,
+                   "ModeTimes::delta: non-monotone integral");
+    out.vcmSeconds = a.vcmSeconds - b.vcmSeconds;
+    out.channelSeconds = a.channelSeconds - b.channelSeconds;
+    out.standbyTicks = a.standbyTicks - b.standbyTicks;
+    out.parkedTicks = a.parkedTicks - b.parkedTicks;
+    out.total = a.total - b.total;
+    return out;
 }
 
 DiskMode
@@ -39,11 +63,37 @@ ModeTracker::advanceTo(sim::Tick now)
         acc_.channelSeconds += dt * static_cast<sim::Tick>(transfers_);
         if (spunDown_)
             acc_.standbyTicks += dt;
+        acc_.parkedTicks += dt * static_cast<sim::Tick>(parked_);
         acc_.total += dt;
         lastChange_ = now;
     } else {
         lastChange_ = now;
     }
+}
+
+void
+ModeTracker::armParked(sim::Tick now)
+{
+    advanceTo(now);
+    ++parked_;
+}
+
+void
+ModeTracker::armUnparked(sim::Tick now)
+{
+    advanceTo(now);
+    sim::simAssert(parked_ > 0,
+                   "ModeTracker: armUnparked without armParked");
+    --parked_;
+}
+
+void
+ModeTracker::rpmChange(sim::Tick now, std::uint32_t rpm)
+{
+    advanceTo(now);
+    closedSegments_.push_back({segRpm_, ModeTimes::delta(acc_, segBase_)});
+    segBase_ = acc_;
+    segRpm_ = rpm;
 }
 
 void
@@ -118,11 +168,33 @@ ModeTracker::finish(sim::Tick now)
     return acc_;
 }
 
+std::vector<RpmSegment>
+ModeTracker::finishSegments(sim::Tick now)
+{
+    advanceTo(now);
+    std::vector<RpmSegment> out = closedSegments_;
+    out.push_back({segRpm_, ModeTimes::delta(acc_, segBase_)});
+    return out;
+}
+
 ModeTimes
 ModeTracker::snapshot(sim::Tick now) const
 {
-    ModeTracker copy = *this;
-    return copy.finish(now);
+    // Inline (rather than copy-and-finish) so governor control ticks
+    // can snapshot without touching the segment vector: no allocation.
+    sim::simAssert(now >= lastChange_, "ModeTracker: time went backwards");
+    ModeTimes out = acc_;
+    const sim::Tick dt = now - lastChange_;
+    if (dt > 0) {
+        out.wall[static_cast<std::size_t>(currentMode())] += dt;
+        out.vcmSeconds += dt * static_cast<sim::Tick>(seeks_);
+        out.channelSeconds += dt * static_cast<sim::Tick>(transfers_);
+        if (spunDown_)
+            out.standbyTicks += dt;
+        out.parkedTicks += dt * static_cast<sim::Tick>(parked_);
+        out.total += dt;
+    }
+    return out;
 }
 
 } // namespace stats

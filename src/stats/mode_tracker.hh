@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -46,11 +47,31 @@ struct ModeTimes
     sim::Tick channelSeconds = 0;
     /** Idle wall time spent with the spindle spun down (standby). */
     sim::Tick standbyTicks = 0;
+    /** Integral of (number of parked arm assemblies) dt. */
+    sim::Tick parkedTicks = 0;
     /** Total observed wall time. */
     sim::Tick total = 0;
 
     /** Elementwise accumulate (for aggregating a disk array). */
     void merge(const ModeTimes &other);
+
+    /** Elementwise @p a - @p b. Every field is a monotone integral,
+     *  so the delta of two snapshots of one tracker is exact. */
+    static ModeTimes delta(const ModeTimes &a, const ModeTimes &b);
+};
+
+/**
+ * Mode times integrated over one constant-RPM stretch of a run. A
+ * drive under governor control produces several; the power model
+ * prices each at its own spindle speed. rpm == 0 means "the drive
+ * spec's nominal speed" (runs that never shift produce exactly one
+ * such segment, keeping their energy bit-identical to the historical
+ * whole-run integration).
+ */
+struct RpmSegment
+{
+    std::uint32_t rpm = 0;
+    ModeTimes times;
 };
 
 /**
@@ -88,10 +109,38 @@ class ModeTracker
     /** True while the spindle is stopped. */
     bool spunDown() const { return spunDown_; }
 
+    /**
+     * An arm assembly was parked / unparked at @p now (actuator power
+     * management). Parked time integrates into
+     * ModeTimes::parkedTicks; the power model credits parked arms
+     * their servo-hold power.
+     */
+    void armParked(sim::Tick now);
+    void armUnparked(sim::Tick now);
+
+    /** Currently parked arm count. */
+    int parkedArms() const { return parked_; }
+
+    /**
+     * The spindle changed speed to @p rpm at @p now: close the
+     * current RPM segment and open a new one. The first call also
+     * closes the implicit initial segment (rpm 0 = spec nominal).
+     */
+    void rpmChange(sim::Tick now, std::uint32_t rpm);
+
     /** Close the books at @p now and return integrated times. */
     ModeTimes finish(sim::Tick now);
 
-    /** Snapshot without closing (integrates up to @p now). */
+    /**
+     * Close the books at @p now and return the per-RPM-segment
+     * breakdown. The segments tile finish(now) exactly (integer-tick
+     * conservation); a run with no rpmChange yields one segment with
+     * rpm 0. Allocates — call at end of run, not on hot paths.
+     */
+    std::vector<RpmSegment> finishSegments(sim::Tick now);
+
+    /** Snapshot without closing (integrates up to @p now).
+     *  Allocation-free: safe on governor control ticks. */
     ModeTimes snapshot(sim::Tick now) const;
 
     /** Current wall-clock mode. */
@@ -107,8 +156,14 @@ class ModeTracker
     int seeks_ = 0;
     int transfers_ = 0;
     int inflight_ = 0;
+    int parked_ = 0;
     bool spunDown_ = false;
     ModeTimes acc_;
+    /** Closed RPM segments + the open segment's base (cumulative acc_
+     *  at its start) and speed. */
+    std::vector<RpmSegment> closedSegments_;
+    ModeTimes segBase_;
+    std::uint32_t segRpm_ = 0;
 
     void advanceTo(sim::Tick now);
 };

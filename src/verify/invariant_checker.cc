@@ -311,6 +311,56 @@ InvariantChecker::arraySubRange(std::uint32_t dev, std::uint64_t lba,
 }
 
 void
+InvariantChecker::checkModeAccounting(std::uint32_t dev,
+                                      const stats::ModeTimes &total,
+                                      const stats::ModeTimes &seg_sum,
+                                      std::uint32_t arms)
+{
+    observations_.fetch_add(1, std::memory_order_relaxed);
+    sim::Tick wall_sum = 0;
+    for (sim::Tick w : total.wall)
+        wall_sum += w;
+    if (wall_sum != total.total) {
+        std::ostringstream os;
+        os << "disk " << dev << ": mode wall times sum to " << wall_sum
+           << " ticks but total is " << total.total
+           << " (mode attribution must tile the run)";
+        fail(os.str());
+    }
+    const auto idle =
+        total.wall[static_cast<std::size_t>(stats::DiskMode::Idle)];
+    if (total.standbyTicks > idle) {
+        std::ostringstream os;
+        os << "disk " << dev << ": " << total.standbyTicks
+           << " standby ticks exceed the " << idle
+           << " idle ticks (standby must lie within idle)";
+        fail(os.str());
+    }
+    if (total.parkedTicks >
+        static_cast<sim::Tick>(arms) * total.total) {
+        std::ostringstream os;
+        os << "disk " << dev << ": parked-arm integral "
+           << total.parkedTicks << " exceeds " << arms
+           << " arms x total " << total.total;
+        fail(os.str());
+    }
+    const bool segs_tile = seg_sum.total == total.total &&
+        seg_sum.wall == total.wall &&
+        seg_sum.vcmSeconds == total.vcmSeconds &&
+        seg_sum.channelSeconds == total.channelSeconds &&
+        seg_sum.standbyTicks == total.standbyTicks &&
+        seg_sum.parkedTicks == total.parkedTicks;
+    if (!segs_tile) {
+        std::ostringstream os;
+        os << "disk " << dev << ": RPM segments sum to "
+           << seg_sum.total << " ticks vs total " << total.total
+           << " (segments must tile the run field-for-field; drift at "
+              "a transition boundary double-bills or drops energy)";
+        fail(os.str());
+    }
+}
+
+void
 InvariantChecker::rebuildChunk(std::uint64_t chunk)
 {
     observations_.fetch_add(1, std::memory_order_relaxed);

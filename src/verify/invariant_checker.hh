@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "stats/mode_tracker.hh"
 
 namespace idp {
 namespace verify {
@@ -102,6 +103,21 @@ class InvariantChecker
     void arraySubRange(std::uint32_t dev, std::uint64_t lba,
                        std::uint32_t sectors,
                        std::uint64_t disk_sectors);
+
+    // -- mode/energy accounting --------------------------------------
+    /**
+     * End-of-run mode-time conservation for one drive: the per-mode
+     * wall times must tile the total exactly, standby time must lie
+     * within idle time, the parked-arm integral must fit
+     * arms x total, and the per-RPM-segment breakdown must sum to the
+     * totals field-for-field (energy integrated per segment covers
+     * exactly the run, no gaps or double billing at transition
+     * boundaries).
+     */
+    void checkModeAccounting(std::uint32_t dev,
+                             const stats::ModeTimes &total,
+                             const stats::ModeTimes &seg_sum,
+                             std::uint32_t arms);
 
     // -- rebuild engine ----------------------------------------------
     /** Chunk reconstruction started. Each chunk index must be

@@ -167,6 +167,20 @@ onArraySubRange(std::uint32_t dev, std::uint64_t lba,
 }
 
 // ---------------------------------------------------------------
+// Mode/energy accounting hooks
+// ---------------------------------------------------------------
+
+/** A drive closed its mode books: @p total must conserve (wall tiles
+ *  total, standby within idle) and the RPM segments must tile it. */
+inline void
+onModeAccounting(std::uint32_t dev, const stats::ModeTimes &total,
+                 const stats::ModeTimes &seg_sum, std::uint32_t arms)
+{
+    if (InvariantChecker *vc = activeChecker())
+        vc->checkModeAccounting(dev, total, seg_sum, arms);
+}
+
+// ---------------------------------------------------------------
 // Rebuild-engine hooks (spare reconstruction conservation)
 // ---------------------------------------------------------------
 

@@ -221,4 +221,89 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(0.5, 3.5, 8.0, 8000u),
                       std::make_tuple(2.0, 16.0, 30.0, 2000u)));
 
+// ---------------------------------------------------------------
+// Piecewise-constant RPM (the runtime governor's actuation point).
+// ---------------------------------------------------------------
+
+TEST(SpindleSegments, AngleContinuousAcrossSetRpm)
+{
+    Spindle s(7200);
+    const sim::Tick at = 3 * s.periodTicks() + s.periodTicks() / 3;
+    const double before = s.rotationAt(at);
+    s.setRpm(at, 4200);
+    // The platter does not teleport: the angle at the switch tick is
+    // exactly the angle the old segment put it at.
+    EXPECT_DOUBLE_EQ(s.rotationAt(at), before);
+    EXPECT_EQ(s.rpm(), 4200u);
+    EXPECT_EQ(s.segmentCount(), 2u);
+}
+
+TEST(SpindleSegments, NewPeriodGovernsAfterSwitch)
+{
+    Spindle s(7200);
+    const sim::Tick at = 10 * s.periodTicks();
+    s.setRpm(at, 4200);
+    const Spindle ref(4200);
+    EXPECT_EQ(s.periodTicks(), ref.periodTicks());
+    // One new-speed period after the switch: back to the same angle.
+    const double a0 = s.rotationAt(at);
+    EXPECT_NEAR(s.rotationAt(at + s.periodTicks()), a0, 1e-9);
+    // Half a new period advances half a revolution.
+    double half = s.rotationAt(at + s.periodTicks() / 2) - a0;
+    if (half < 0.0)
+        half += 1.0;
+    EXPECT_NEAR(half, 0.5, 1e-6);
+}
+
+TEST(SpindleSegments, SingleSegmentMatchesLegacyBitExactly)
+{
+    // A spindle that never changes speed must produce the exact bits
+    // the pre-segment implementation did (goldens are pinned on it).
+    const Spindle legacy(7200);
+    Spindle fresh(7200);
+    sim::Rng rng(11);
+    for (int i = 0; i < 5000; ++i) {
+        const sim::Tick t = rng.uniformInt(
+            static_cast<std::uint64_t>(1) << 42);
+        ASSERT_EQ(legacy.rotationAt(t), fresh.rotationAt(t));
+    }
+    EXPECT_EQ(fresh.segmentCount(), 1u);
+}
+
+TEST(SpindleSegments, WaitLandsOnTargetAfterSwitch)
+{
+    Spindle s(7200);
+    s.setRpm(7 * s.periodTicks() + 12345, 5200);
+    sim::Rng rng(12);
+    const sim::Tick base = 8 * Spindle(7200).periodTicks();
+    for (int i = 0; i < 2000; ++i) {
+        const sim::Tick now = base +
+            rng.uniformInt(static_cast<std::uint64_t>(1) << 38);
+        const double angle = rng.uniform();
+        const double azimuth = rng.uniform();
+        const sim::Tick wait = s.waitFor(now, angle, azimuth);
+        EXPECT_LT(wait, s.periodTicks());
+        double pos = s.rotationAt(now + wait) + angle - azimuth;
+        pos -= std::floor(pos);
+        const double err = std::min(pos, 1.0 - pos);
+        EXPECT_LT(err, 1e-5);
+    }
+}
+
+TEST(SpindleSegments, RepeatedSwitchesKeepContinuity)
+{
+    Spindle s(7200);
+    sim::Rng rng(13);
+    sim::Tick at = 0;
+    const std::uint32_t speeds[] = {4200, 10000, 5200, 7200, 6200};
+    for (std::uint32_t rpm : speeds) {
+        at += rng.uniformInt(1u << 30) + 1;
+        const double before = s.rotationAt(at);
+        s.setRpm(at, rpm);
+        EXPECT_DOUBLE_EQ(s.rotationAt(at), before);
+        EXPECT_EQ(s.rpm(), rpm);
+    }
+    EXPECT_EQ(s.segmentCount(), 6u);
+}
+
 } // namespace

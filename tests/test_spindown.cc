@@ -154,6 +154,83 @@ TEST(SpinDown, WriteBackDestageSpinsUp)
     EXPECT_TRUE(h.drive.idle());
 }
 
+// ---------------------------------------------------------------
+// Spin-down as a *transition* (spec.spinDownMs > 0): the stop itself
+// takes time, during which the drive serves nothing. A request that
+// arrives mid-transition waits out the remaining transition AND a
+// full spin-up — it is never priced at the old speed or served
+// half-stopped.
+// ---------------------------------------------------------------
+
+TEST(SpinDownTransition, ArrivalMidTransitionWaitsRemainderPlusSpinUp)
+{
+    DriveSpec s = spec(50.0, 1000.0);
+    s.spinDownMs = 500.0;
+    Harness h(s);
+    h.submitAt(0, 1000, false);
+    // First write completes within ~100 ms; the idle timer fires
+    // 50 ms later; the stop transition runs for 500 ms after that.
+    // An arrival at t = 300 ms lands inside the transition, so it
+    // must wait transition-end + the full 1 s spin-up.
+    h.submitAt(sim::msToTicks(300.0),
+               h.drive.geometry().totalSectors() / 2, false);
+    h.simul.run();
+    ASSERT_EQ(h.doneAt.size(), 2u);
+    const double resp_ms = sim::ticksToMs(h.doneAt[1]) - 300.0;
+    // Remaining transition (>= 250 ms) + spin-up (1000 ms), bounded
+    // above by transition end + spin-up + generous service slack.
+    EXPECT_GT(resp_ms, 1250.0);
+    EXPECT_LT(resp_ms, 1450.0);
+    // The arrival did not abort the stop: the transition completed
+    // (counted) and exactly one spin-up followed.
+    EXPECT_GE(h.drive.stats().spinDowns, 1u);
+    EXPECT_EQ(h.drive.stats().spinUps, 1u);
+}
+
+TEST(SpinDownTransition, TransitionStateIsObservable)
+{
+    DriveSpec s = spec(50.0, 1000.0);
+    s.spinDownMs = 500.0;
+    Harness h(s);
+    h.submitAt(0, 1000, false);
+    bool saw_transition = false;
+    bool saw_standby = false;
+    // Probe well inside the transition and well after it.
+    h.simul.schedule(sim::msToTicks(300.0), [&] {
+        saw_transition =
+            h.drive.spinningDown() && !h.drive.spunDown();
+    });
+    h.simul.schedule(sim::msToTicks(900.0), [&] {
+        saw_standby =
+            h.drive.spunDown() && !h.drive.spinningDown();
+    });
+    h.simul.run();
+    EXPECT_TRUE(saw_transition);
+    EXPECT_TRUE(saw_standby);
+}
+
+TEST(SpinDownTransition, StandbyBeginsOnlyAfterTransitionEnds)
+{
+    // Same scenario with instant vs 500 ms stop: the transition time
+    // is billed as spinning (idle), not standby, so the instant-stop
+    // variant banks strictly more standby time.
+    sim::Tick standby[2];
+    for (int v = 0; v < 2; ++v) {
+        DriveSpec s = spec(50.0, 1000.0);
+        s.spinDownMs = v == 0 ? 0.0 : 500.0;
+        Harness h(s);
+        h.submitAt(0, 1000, false);
+        h.simul.schedule(sim::secondsToTicks(5.0), [] {});
+        h.simul.run();
+        standby[v] = h.drive.finishModeTimes().standbyTicks;
+    }
+    EXPECT_GT(standby[0], standby[1]);
+    // The gap is the transition length, to within timer slack.
+    const double gap_ms =
+        sim::ticksToMs(standby[0] - standby[1]);
+    EXPECT_NEAR(gap_ms, 500.0, 50.0);
+}
+
 TEST(SpinDown, RepeatedCycles)
 {
     Harness h(spec(20.0, 100.0));
