@@ -6,6 +6,7 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 
 namespace {
 
@@ -71,6 +72,15 @@ namespace benchjson {
 BenchReport::BenchReport(std::string bench_name)
     : bench_(std::move(bench_name))
 {
+    // Every report leads with the runner's core count so downstream
+    // gates on parallel-scaling metrics (pdes_speedup_4w) can skip
+    // with a logged reason on small runners instead of failing — or
+    // worse, silently passing on numbers a 2-core machine cannot
+    // produce.
+    metrics_.push_back(
+        {"cpu_count",
+         static_cast<double>(std::thread::hardware_concurrency()),
+         "cores"});
 }
 
 void

@@ -107,8 +107,8 @@ systemFor(std::uint32_t static_rpm, bool governed,
         memberDrive(static_rpm), 1);
     if (governed)
         config.array.governor = gov;
-    config.pdesWorkers = 0; // governed runs are serial; compare like
-    return config;          // with like for the statics
+    config.pdesWorkers = 0; // study points run serial; the parity
+    return config;          // block re-runs governed under the engine
 }
 
 // ---------------------------------------------------------------
@@ -389,6 +389,7 @@ main()
                      "AvgPower(W)", "SLO met", "Note"});
 
     bool governor_ok = true;
+    bool pdes_matches = true;
     double best_savings_pct = -1e9;
 
     // ---- square wave ------------------------------------------
@@ -414,6 +415,24 @@ main()
             runSquare(systemFor(7200, true, gov), trace);
         reportFamily(report, table, fam, governor_ok,
                      best_savings_pct);
+
+        // Dynamic-horizon engine parity: a governed run is the
+        // membership-visible control case — every decision tick caps
+        // the horizon, so each RPM shift lands at a serial
+        // synchronization point. The engine must reproduce the
+        // serial governed run to the byte at every worker count.
+        pdes_matches = true;
+        for (int w : {1, 4, 8}) {
+            core::SystemConfig pc = systemFor(7200, true, gov);
+            pc.pdesWorkers = w;
+            const PointResult r = runSquare(pc, trace);
+            pdes_matches = pdes_matches &&
+                r.p99Ms == fam.governed.p99Ms &&
+                r.energyJ == fam.governed.energyJ &&
+                r.completions == fam.governed.completions;
+        }
+        report.add("pdes_governed_matches_serial",
+                   pdes_matches ? 1.0 : 0.0, "bool");
     }
 
     // ---- closed loop ------------------------------------------
@@ -499,6 +518,9 @@ main()
               << "; best savings: "
               << stats::fmt(best_savings_pct, 1)
               << "%; control-path steady allocs: " << steady_allocs
-              << "\nreport: " << path << '\n';
-    return (governor_ok && steady_allocs == 0) ? 0 : 1;
+              << "; engine matches serial: "
+              << (pdes_matches ? "yes" : "NO") << "\nreport: " << path
+              << '\n';
+    return (governor_ok && pdes_matches && steady_allocs == 0) ? 0
+                                                               : 1;
 }

@@ -23,13 +23,16 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "array/rebuild.hh"
 #include "array/storage_array.hh"
 #include "bench_json.hh"
 #include "core/experiment.hh"
+#include "exec/pdes.hh"
 #include "sim/event_queue.hh"
 #include "stats/table.hh"
+#include "telemetry/telemetry.hh"
 #include "workload/synthetic.hh"
 
 namespace {
@@ -62,17 +65,25 @@ enum class Phase
     Rebuilding,
 };
 
+/** One lifecycle phase, serially or (pdes_workers > 0) under the
+ *  dynamic-horizon engine: the pre-run failDisk/startRebuild calls
+ *  are serially synchronized in both modes (every calendar still at
+ *  tick 0), and the rebuild stream serializes its pump ticks. */
 PhaseResult
 runPhase(const ConfigDef &config, Phase phase,
-         const workload::Trace &trace)
+         const workload::Trace &trace, int pdes_workers = 0)
 {
-    sim::Simulator simul;
-    std::uint64_t completions = 0;
-    array::StorageArray arr(
-        simul, config.params,
-        [&completions](const workload::IoRequest &, sim::Tick) {
-            ++completions;
-        });
+    std::unique_ptr<exec::PdesRun> prun;
+    if (pdes_workers > 0)
+        prun = std::make_unique<exec::PdesRun>(
+            config.params, static_cast<unsigned>(pdes_workers),
+            telemetry::TraceOptions{});
+    sim::Simulator serial_sim;
+    sim::Simulator &simul = prun ? prun->coordSim() : serial_sim;
+    array::StorageArray arr(simul, config.params, nullptr,
+                            prun.get());
+    if (prun)
+        prun->setArray(&arr);
     if (phase != Phase::Healthy)
         arr.failDisk(0);
     if (phase == Phase::Rebuilding)
@@ -82,7 +93,10 @@ runPhase(const ConfigDef &config, Phase phase,
         r.lba = req.lba % (arr.logicalSectors() - 64);
         simul.schedule(r.arrival, [&arr, r] { arr.submit(r); });
     }
-    simul.run();
+    if (prun)
+        prun->run();
+    else
+        simul.run();
     arr.sealStats();
 
     PhaseResult out;
@@ -91,7 +105,7 @@ runPhase(const ConfigDef &config, Phase phase,
     out.p50Ms = st.responseMs.quantile(0.50);
     out.p99Ms = st.responseMs.p99();
     out.powerW = arr.finishPower().totalAvgW();
-    out.completions = completions;
+    out.completions = st.logicalCompletions;
     if (phase == Phase::Rebuilding) {
         const auto &prog = arr.rebuild()->progress();
         out.rebuildWindowS =
@@ -117,10 +131,19 @@ mirrorMeanMs(ConfigDef config, array::ReplicaPolicy policy,
  * 75% chunk landings (all sample buffers pre-reserved).
  */
 std::uint64_t
-rebuildSteadyAllocs(const ConfigDef &config)
+rebuildSteadyAllocs(const ConfigDef &config, int pdes_workers = 0)
 {
-    sim::Simulator simul;
-    array::StorageArray arr(simul, config.params);
+    std::unique_ptr<exec::PdesRun> prun;
+    if (pdes_workers > 0)
+        prun = std::make_unique<exec::PdesRun>(
+            config.params, static_cast<unsigned>(pdes_workers),
+            telemetry::TraceOptions{});
+    sim::Simulator serial_sim;
+    sim::Simulator &simul = prun ? prun->coordSim() : serial_sim;
+    array::StorageArray arr(simul, config.params, nullptr,
+                            prun.get());
+    if (prun)
+        prun->setArray(&arr);
     arr.reserveStatsCapacity();
     arr.failDisk(0);
 
@@ -136,7 +159,10 @@ rebuildSteadyAllocs(const ConfigDef &config)
             end_allocs = benchjson::allocCount();
     };
     arr.startRebuild(0, rp);
-    simul.run();
+    if (prun)
+        prun->run();
+    else
+        simul.run();
     return end_allocs - start_allocs;
 }
 
@@ -202,9 +228,12 @@ main()
                      "p99(ms)", "Power(W)", "RebuildWindow(s)"});
 
     bool conservation_ok = true;
-    for (const ConfigDef &config : configs) {
+    PhaseResult lifecycle[3][3]; // [config][phase], serial reference
+    for (int c = 0; c < 3; ++c) {
+        const ConfigDef &config = configs[c];
         for (int p = 0; p < 3; ++p) {
             const PhaseResult r = runPhase(config, phases[p], trace);
+            lifecycle[c][p] = r;
             const std::string prefix =
                 std::string(config.key) + "_" + phase_names[p];
             report.add(prefix + "_mean_ms", r.meanMs, "ms");
@@ -270,10 +299,46 @@ main()
     report.add("rebuild_steady_allocs",
                static_cast<double>(steady_allocs), "allocs");
 
+    // Dynamic-horizon engine: the degraded and rebuilding phases of
+    // the SA(4) mirror re-run under the conservative engine — the
+    // membership-change cases static lookahead rejected outright.
+    // Byte-level phase statistics must match the serial reference at
+    // every worker count, and the same 25%-75% chunk window of the
+    // pure rebuild must stay allocation-free (the per-round horizon
+    // computation reads drive bounds into fixed storage).
+    bool pdes_matches = true;
+    for (int w : {1, 4, 8}) {
+        const PhaseResult rb =
+            runPhase(configs[0], Phase::Rebuilding, trace, w);
+        const PhaseResult &ref = lifecycle[0][2];
+        pdes_matches = pdes_matches && rb.meanMs == ref.meanMs &&
+            rb.p99Ms == ref.p99Ms &&
+            rb.completions == ref.completions &&
+            rb.chunks == ref.chunks &&
+            rb.spareWrites == ref.spareWrites;
+    }
+    {
+        const PhaseResult dg =
+            runPhase(configs[0], Phase::Degraded, trace, 4);
+        const PhaseResult &ref = lifecycle[0][1];
+        pdes_matches = pdes_matches && dg.meanMs == ref.meanMs &&
+            dg.p99Ms == ref.p99Ms &&
+            dg.completions == ref.completions;
+    }
+    report.add("pdes_rebuild_matches_serial",
+               pdes_matches ? 1.0 : 0.0, "bool");
+    const std::uint64_t pdes_steady_allocs =
+        rebuildSteadyAllocs(configs[0], 4);
+    report.add("pdes_rebuild_steady_allocs",
+               static_cast<double>(pdes_steady_allocs), "allocs");
+
     const std::string path = report.write();
     std::cout << "\nconservation: "
               << (conservation_ok ? "ok" : "VIOLATED")
               << "; rebuild steady-state allocs: " << steady_allocs
-              << "\nreport: " << path << '\n';
-    return conservation_ok ? 0 : 1;
+              << " (engine: " << pdes_steady_allocs << ")"
+              << "; engine matches serial: "
+              << (pdes_matches ? "yes" : "NO") << "\nreport: " << path
+              << '\n';
+    return (conservation_ok && pdes_matches) ? 0 : 1;
 }

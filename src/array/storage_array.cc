@@ -1,6 +1,7 @@
 #include "array/storage_array.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
@@ -85,6 +86,22 @@ StorageArray::StorageArray(sim::Simulator &simul,
             bridge_ ? bridge_->driveSim(i) : sim_, params_.drive,
             std::move(complete)));
         disks_.back()->setTelemetryId(i);
+        // Independent spindles do not start a run rotationally
+        // aligned: skew each member by the golden-ratio stride (a
+        // low-discrepancy spacing at any member count). Member 0
+        // keeps phase 0, so a single-drive array stays bit-identical
+        // to a standalone drive. The skew is a pure function of the
+        // member index — serial and conservative-engine runs build
+        // identical arrays — and it removes the systematic same-tick
+        // completion ties that perfectly aligned clone drives produce
+        // on mirrored and parity fan-outs, where the cross-drive
+        // completion order would otherwise be an accident of event-
+        // queue insertion rather than physics.
+        const double phase =
+            static_cast<double>(i) * 0.61803398874989485;
+        disks_.back()->setSpindlePhase(phase - std::floor(phase));
+        if (bridge_ != nullptr && bridge_->wantsCompletionBounds())
+            disks_.back()->trackCompletionBounds(true);
     }
     ctrLogical_ = telemetry::counterHandle("array.logical_requests");
     ctrSubs_ = telemetry::counterHandle("array.sub_requests");
@@ -129,11 +146,16 @@ StorageArray::StorageArray(sim::Simulator &simul,
     const power::GovernorParams gov =
         power::applyGovernorEnv(params_.governor);
     if (gov.enabled) {
-        // The governor mutates spindle speed at runtime; the PDES
-        // bridge's windowed execution cannot see those transitions
-        // across calendars, so it rejects governed runs up front.
-        sim::simAssert(bridge_ == nullptr,
-                       "array: energy governor requires a serial run");
+        // The governor mutates spindle speed at runtime. An engine
+        // that supports horizon barriers runs every governor control
+        // tick as a serial synchronization point (all calendars
+        // advanced to the tick), so snapshots and actuations see
+        // exactly the serial-run state; anything less must reject
+        // governed runs up front.
+        sim::simAssert(bridge_ == nullptr ||
+                           bridge_->supportsBarriers(),
+                       "array: energy governor requires a serial run "
+                       "or a barrier-capable engine");
         std::vector<disk::DiskDrive *> members;
         members.reserve(disks_.size());
         for (auto &d : disks_)
@@ -156,6 +178,13 @@ void
 StorageArray::failDisk(std::uint32_t idx)
 {
     sim::simAssert(idx < disks_.size(), "array: bad disk index");
+    // Membership flips are visible to every calendar at once (the
+    // drop-with-accounting check reads failed_ at replay time), so
+    // under PDES they must land at a barrier-synchronized tick — use
+    // scheduleFailDisk to register one.
+    sim::simAssert(bridge_ == nullptr || bridge_->atSerialStep(),
+                   "array: failDisk inside a conservative window "
+                   "(schedule it through scheduleFailDisk)");
     sim::simAssert(params_.layout == Layout::Raid1 ||
                        params_.layout == Layout::Raid5,
                    "array: layout has no redundancy to degrade into");
@@ -191,10 +220,49 @@ StorageArray::startRebuild(std::uint32_t idx,
                    "array: rebuild target is not failed");
     sim::simAssert(rebuild_ == nullptr || rebuild_->done(),
                    "array: a rebuild is already running");
-    sim::simAssert(bridge_ == nullptr,
-                   "array: rebuild requires the serial event loop");
+    sim::simAssert(bridge_ == nullptr || bridge_->supportsBarriers(),
+                   "array: rebuild requires the serial event loop "
+                   "or a barrier-capable engine");
+    sim::simAssert(bridge_ == nullptr || bridge_->atSerialStep(),
+                   "array: startRebuild inside a conservative window "
+                   "(schedule it through scheduleStartRebuild)");
+    if (bridge_ != nullptr)
+        bridge_->noteRebuildActive(true);
     rebuild_ = std::make_unique<RebuildEngine>(*this, idx, params);
     rebuild_->start();
+}
+
+void
+StorageArray::scheduleFailDisk(std::uint32_t idx, sim::Tick at)
+{
+    sim::simAssert(idx < disks_.size(), "array: bad disk index");
+    if (bridge_ != nullptr)
+        bridge_->addBarrier(at);
+    sim_.schedule(at, [this, idx] { failDisk(idx); });
+}
+
+void
+StorageArray::scheduleStartRebuild(std::uint32_t idx, sim::Tick at,
+                                   const RebuildParams &params)
+{
+    sim::simAssert(idx < disks_.size(), "array: bad disk index");
+    if (bridge_ != nullptr)
+        bridge_->addBarrier(at);
+    RebuildParams copy = params;
+    sim_.schedule(at, [this, idx, copy] { startRebuild(idx, copy); });
+}
+
+sim::Tick
+StorageArray::driveCompletionBound(std::uint32_t idx,
+                                   sim::Tick round_start)
+{
+    return disks_[idx]->completionBoundTicks(round_start);
+}
+
+sim::Tick
+StorageArray::driveMinServiceFloor(std::uint32_t idx) const
+{
+    return disks_[idx]->minServiceFloorTicks();
 }
 
 void
@@ -202,6 +270,8 @@ StorageArray::completeRebuild(std::uint32_t idx)
 {
     sim::simAssert(failed_[idx], "array: rebuilt member not failed");
     failed_[idx] = false;
+    if (bridge_ != nullptr)
+        bridge_->noteRebuildActive(false);
 }
 
 void

@@ -212,11 +212,32 @@ class StorageArray
      * RAID-5 reads every surviving row member and XORs onto the
      * spare. The engine runs as background traffic under
      * @p params' rate limit and foreground-yield knobs; when the last
-     * chunk lands the member rejoins the array. Serial runs only (the
-     * PDES bridge rejects redundant layouts anyway). Requires
-     * diskFailed(idx) and no rebuild already running.
+     * chunk lands the member rejoins the array. Needs either a serial
+     * run or a bridge with barrier support (dynamic-horizon PDES);
+     * under PDES call it through scheduleStartRebuild so the start
+     * tick is barrier-synchronized. Requires diskFailed(idx) and no
+     * rebuild already running.
      */
     void startRebuild(std::uint32_t idx, const RebuildParams &params);
+
+    /**
+     * Schedule failDisk(idx) at tick @p at on the array's calendar
+     * and — when a dynamic-horizon bridge is installed — register the
+     * tick as a horizon barrier so the membership flip executes as a
+     * serial synchronization point (no conservative window spans it).
+     */
+    void scheduleFailDisk(std::uint32_t idx, sim::Tick at);
+
+    /** Barrier-registered counterpart of startRebuild; see
+     *  scheduleFailDisk. */
+    void scheduleStartRebuild(std::uint32_t idx, sim::Tick at,
+                              const RebuildParams &params);
+
+    /** Forwarders the PDES engine prices its dynamic horizon with;
+     *  see DiskDrive::completionBoundTicks / minServiceFloorTicks. */
+    sim::Tick driveCompletionBound(std::uint32_t idx,
+                                   sim::Tick round_start);
+    sim::Tick driveMinServiceFloor(std::uint32_t idx) const;
 
     /** The running (or finished) rebuild engine; null before
      *  startRebuild. Exposes progress telemetry. */

@@ -204,10 +204,37 @@ runTrace(const workload::Trace &trace, const SystemConfig &config,
             "sim.events_cancelled",
             static_cast<double>(prun ? prun->eventsCancelled()
                                      : simul.eventsCancelled()));
-        if (prun)
+        if (prun) {
             registry->setGauge(
                 "sim.pdes_rounds",
                 static_cast<double>(prun->rounds()));
+            registry->setGauge(
+                "sim.pdes_serial_steps",
+                static_cast<double>(prun->serialSteps()));
+            // Median horizon width (log2 bucket midpoint) tells at a
+            // glance whether the dynamic bounds are opening useful
+            // windows or collapsing to serial steps.
+            const std::uint64_t *hist = prun->horizonWidthHist();
+            std::uint64_t total = 0;
+            for (std::size_t b = 0; b < exec::PdesRun::kHorizonBuckets;
+                 ++b)
+                total += hist[b];
+            if (total != 0) {
+                std::uint64_t seen = 0;
+                std::size_t median = 0;
+                for (std::size_t b = 0;
+                     b < exec::PdesRun::kHorizonBuckets; ++b) {
+                    seen += hist[b];
+                    if (seen * 2 >= total) {
+                        median = b;
+                        break;
+                    }
+                }
+                registry->setGauge(
+                    "sim.pdes_horizon_log2_median",
+                    static_cast<double>(median));
+            }
+        }
         result.metrics = registry->snapshot();
     }
     if (tracer)

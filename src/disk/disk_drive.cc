@@ -1,6 +1,7 @@
 #include "disk/disk_drive.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "sim/logging.hh"
 #include "verify/verify.hh"
@@ -61,6 +62,10 @@ DiskDrive::DiskDrive(sim::Simulator &simul, const DriveSpec &spec,
     estServiceTicks_ = seekLbTicks(geometry_.cylinders() / 3) +
         spindle_.periodTicks() / 2;
     desiredRpm_ = spec_.rpm;
+    // The geometry builder tapers sectors/track linearly from the
+    // outermost zone inward, so cylinder 0 carries the densest track
+    // (the fastest one-sector sweep the drive can ever do).
+    maxSpt_ = geometry_.sectorsPerTrack(0);
 }
 
 sim::Tick
@@ -208,11 +213,19 @@ DiskDrive::maybeStartRpmShift()
     // transition segment now, closed again when the new speed lands.
     modes_.rpmChange(sim_.now(),
                      std::max(spindle_.rpm(), shiftTo_));
+    // The ramp nominally takes rpmShiftMs, but the drive re-enters
+    // service only when the servo confirms the new speed at the next
+    // index-mark pass. Snapping the end to a rotation boundary also
+    // keeps ramp completions off the exact millisecond grid where
+    // control-loop and arrival events live (a rotation period is
+    // never an integral ms), so a ramp end cannot systematically
+    // share a tick with a governor decision.
+    const sim::Tick nominal = sim::msToTicks(spec_.rpmShiftMs);
+    const sim::Tick ramp = nominal +
+        spindle_.waitFor(sim_.now() + nominal, 0.0, 0.0);
     telemetry::emitSpan(0, telemetry::SpanKind::SpinUp, sim_.now(),
-                        sim_.now() + sim::msToTicks(spec_.rpmShiftMs),
-                        telemetryId_);
-    sim_.scheduleAfter(sim::msToTicks(spec_.rpmShiftMs),
-                       [this] { completeRpmShift(); });
+                        sim_.now() + ramp, telemetryId_);
+    sim_.scheduleAfter(ramp, [this] { completeRpmShift(); });
 }
 
 void
@@ -251,6 +264,73 @@ DiskDrive::busTicks(std::uint32_t sectors) const
         static_cast<double>(sectors) * geom::kSectorBytes;
     const double secs = bytes / (spec_.busMBps * 1e6);
     return controllerTicks_ + sim::secondsToTicks(secs);
+}
+
+sim::Tick
+DiskDrive::minTransferFloorTicks() const
+{
+    const std::uint32_t s_par =
+        std::max<std::uint32_t>(1, spec_.dash.surfaces);
+    // Fastest RPM reachable without a new governor decision (which
+    // only lands at a serial synchronization point): ramps start only
+    // with no access in flight, so in-flight floors priced at the
+    // current speed stay exact, while queued-work floors must assume
+    // the pending or in-flight ramp lands first.
+    const std::uint32_t cur = spindle_.rpm();
+    std::uint32_t fast = std::max(cur, desiredRpm_);
+    if (rpmShifting_)
+        fast = std::max(fast, shiftTo_);
+    sim::Tick sweep =
+        spindle_.sweepTicks(1.0 / static_cast<double>(maxSpt_));
+    if (fast > cur) {
+        // Rescale the current-period sweep to the faster speed; shave
+        // a tick to absorb the rounding and stay admissible.
+        sweep = static_cast<sim::Tick>(static_cast<double>(sweep) *
+                                       cur / fast);
+        if (sweep > 0)
+            --sweep;
+    }
+    return controllerTicks_ + sweep / s_par;
+}
+
+sim::Tick
+DiskDrive::minServiceFloorTicks() const
+{
+    // A fresh delivery either returns from the cache (buffer-bus
+    // path, RPM-independent) or goes to media.
+    return std::min(busTicks(1), minTransferFloorTicks());
+}
+
+sim::Tick
+DiskDrive::completionBoundTicks(sim::Tick round_start)
+{
+    while (!hitHeap_.empty() && hitHeap_.front() < round_start) {
+        std::pop_heap(hitHeap_.begin(), hitHeap_.end(),
+                      std::greater<sim::Tick>());
+        hitHeap_.pop_back();
+    }
+    sim::Tick bound =
+        hitHeap_.empty() ? sim::kTickNever : hitHeap_.front();
+    const sim::Tick xfer_floor = minTransferFloorTicks();
+    for (const Active &a : activePool_) {
+        // Destage traffic completes drive-internally; any foreground
+        // work it unblocks is covered by the queued-work floor.
+        if (!a.inUse || a.internal)
+            continue;
+        sim::Tick floor = std::max(a.doneFloor, round_start);
+        if (a.phase == Phase::ChannelWait)
+            // The floor set at rotation start may be long past for a
+            // blocked access; after it wakes it still re-waits and
+            // transfers, so one minimum transfer from now is safe.
+            floor = std::max(floor, round_start + xfer_floor);
+        bound = std::min(bound, floor);
+    }
+    // Queued requests are cache misses (hits complete at submit), so
+    // the tighter media floor applies: any dispatch happens at or
+    // after round_start (the global minimum pending activity).
+    if (fgList_.size != 0 || bgList_.size != 0)
+        bound = std::min(bound, round_start + xfer_floor);
+    return bound;
 }
 
 sim::Tick
@@ -477,6 +557,7 @@ DiskDrive::installActive(Active active)
     const std::uint32_t gen = dst.gen + 1;
     dst = std::move(active);
     dst.gen = gen;
+    dst.inUse = true;
     ++activeCount_;
     return (static_cast<std::uint64_t>(gen) << 32) |
         (static_cast<std::uint64_t>(slot) + 1);
@@ -499,6 +580,7 @@ DiskDrive::releaseActive(std::uint64_t id)
 {
     Active &active = activeAt(id);
     active.riders.clear();
+    active.inUse = false;
     ++active.gen; // retires the id even before the slot is reused
     activeFree_.push_back(
         static_cast<std::uint32_t>(id & 0xffffffffULL) - 1);
@@ -530,6 +612,15 @@ DiskDrive::cachedPositioning(const sched::PendingView &req,
         e.evalAt = now;
         e.rotValid = true;
     }
+    if (verify::activeChecker() != nullptr) {
+        // The pruning / horizon lower bound must never exceed the
+        // exact positioning price, including mid-RPM-ramp.
+        const std::uint32_t dist = arm.cylinder > p.cylinder
+            ? arm.cylinder - p.cylinder
+            : p.cylinder - arm.cylinder;
+        verify::onPositioningBound(telemetryId_, seekLbTicks(dist),
+                                   e.seek + e.rot);
+    }
     return e.seek + e.rot;
 }
 
@@ -553,6 +644,11 @@ DiskDrive::submit(const workload::IoRequest &req)
             ++stats_.cacheHits;
             telemetry::bump(ctrCacheHits_);
             const sim::Tick done = sim_.now() + busTicks(req.sectors);
+            if (trackHitBounds_) {
+                hitHeap_.push_back(done);
+                std::push_heap(hitHeap_.begin(), hitHeap_.end(),
+                               std::greater<sim::Tick>());
+            }
             telemetry::emitSpan(req.id, telemetry::SpanKind::CacheHit,
                                 sim_.now(), done, telemetryId_);
             workload::IoRequest copy = req;
@@ -576,6 +672,11 @@ DiskDrive::submit(const workload::IoRequest &req)
             // Write-back absorbed the write; destage happens later.
             telemetry::bump(ctrCacheHits_);
             const sim::Tick done = sim_.now() + busTicks(req.sectors);
+            if (trackHitBounds_) {
+                hitHeap_.push_back(done);
+                std::push_heap(hitHeap_.begin(), hitHeap_.end(),
+                               std::greater<sim::Tick>());
+            }
             telemetry::emitSpan(req.id, telemetry::SpanKind::CacheHit,
                                 sim_.now(), done, telemetryId_);
             workload::IoRequest copy = req;
@@ -826,6 +927,7 @@ DiskDrive::startService(Active active)
     const bool needs_motion = active.seekTicks > 0;
     const sim::Tick seek_ticks = active.seekTicks;
     active.phase = Phase::Seeking;
+    active.doneFloor = now + seek_ticks + minTransferFloorTicks();
     const std::uint64_t id = installActive(std::move(active));
 
     if (needs_motion) {
@@ -899,6 +1001,7 @@ DiskDrive::startRotation(std::uint64_t id)
                 ++stats_.zeroLatencyHits;
                 telemetry::bump(ctrZeroLatHits_);
                 active.xferOverride = period;
+                active.doneFloor = now + minTransferFloorTicks();
                 onRotationDone(id);
                 return;
             }
@@ -910,6 +1013,7 @@ DiskDrive::startRotation(std::uint64_t id)
         : armRotWait(now, active.chs, active.arm);
     active.predRotAt = sim::kTickNever;
     active.rotTicks += wait;
+    active.doneFloor = now + wait + minTransferFloorTicks();
     if (wait > 0) {
         telemetry::emitSpan(active.req.id,
                             telemetry::SpanKind::RotWait, now,
@@ -954,6 +1058,7 @@ DiskDrive::tryStartTransfer(std::uint64_t id)
         active.xferTicks =
             transferTicks(active.chs, totalSectors(active)) / s_par +
             controllerTicks_;
+    active.doneFloor = now + active.xferTicks; // exact from here
     telemetry::emitSpan(active.req.id, telemetry::SpanKind::Transfer,
                         now, now + active.xferTicks, telemetryId_,
                         static_cast<std::uint16_t>(active.arm));
@@ -982,6 +1087,7 @@ DiskDrive::wakeNextChannelWaiter(bool defer_zero_wait)
     const sim::Tick extra = armRotWait(now, waiter.chs, waiter.arm);
     waiter.rotTicks += extra;
     waiter.phase = Phase::Rotating;
+    waiter.doneFloor = now + extra + minTransferFloorTicks();
     if (extra > 0) {
         telemetry::emitSpan(waiter.req.id,
                             telemetry::SpanKind::RotWait, now,
@@ -1020,6 +1126,7 @@ DiskDrive::onTransferDone(std::uint64_t id)
             const sim::Tick rev = spindle_.periodTicks();
             active.rotTicks += rev;
             active.phase = Phase::Rotating;
+            active.doneFloor = now + rev + minTransferFloorTicks();
             telemetry::emitSpan(
                 active.req.id, telemetry::SpanKind::RotWait, now,
                 now + rev, telemetryId_,
@@ -1044,6 +1151,7 @@ DiskDrive::completeActive(std::uint64_t id)
     const sim::Tick now = sim_.now();
     Active active = std::move(activeAt(id));
     releaseActive(id);
+    verify::onDiskServiceBound(telemetryId_, active.doneFloor, now);
     modes_.requestEnd(now);
     arms_[active.arm].busy = false;
     verifyOccupancy();

@@ -161,6 +161,42 @@ class DiskDrive
     /** Requests currently in mechanical service. */
     std::size_t inFlight() const { return activeCount_; }
 
+    /**
+     * Admissible lower bound on the earliest tick this drive's next
+     * host-visible completion can fire, evaluated for a conservative
+     * window starting at @p round_start (the PDES engine's dynamic
+     * horizon). Combines the scheduled cache-hit/write-absorb
+     * completion ticks, each in-flight access's phase floor
+     * (Transferring is exact; earlier phases add the minimum
+     * remaining transfer), and a queued-work floor of
+     * round_start + minServiceFloorTicks(). kTickNever when nothing
+     * is queued or in flight — an idle drive cannot complete anything
+     * until the coordinator feeds it. Allocation-free; lazily prunes
+     * already-fired cache-hit entries (@p round_start is the global
+     * minimum pending activity, so entries behind it have fired).
+     */
+    sim::Tick completionBoundTicks(sim::Tick round_start);
+
+    /**
+     * Minimum service time of any request delivered to this drive
+     * from now on: the cheaper of a one-sector cache-hit return
+     * (controller + buffer-bus latency, RPM-independent) and a
+     * zero-seek zero-rotation one-sector media transfer. The media
+     * half is priced at the fastest RPM the drive can reach without a
+     * new (serially synchronized) governor decision —
+     * max(current, desired, in-flight ramp target) — so the floor
+     * stays admissible across a mid-window ramp completion.
+     */
+    sim::Tick minServiceFloorTicks() const;
+
+    /**
+     * Record scheduled cache-hit completion ticks for
+     * completionBoundTicks (PDES dynamic horizon). Off by default so
+     * serial runs pay nothing; the array enables it when its bridge
+     * derives horizons from drive state.
+     */
+    void trackCompletionBounds(bool on) { trackHitBounds_ = on; }
+
     /** True when no request is queued or in service. */
     bool
     idle() const
@@ -273,6 +309,15 @@ class DiskDrive
     void setTelemetryId(std::uint32_t id) { telemetryId_ = id; }
     std::uint32_t telemetryId() const { return telemetryId_; }
 
+    /**
+     * Set the spindle's rotational phase at tick 0 (revolutions,
+     * [0, 1)). The owning array skews member phases so independent
+     * spindles do not start the run rotationally aligned; a
+     * standalone drive keeps the default 0. Configuration-time only
+     * — must precede the first request.
+     */
+    void setSpindlePhase(double angle) { spindle_.setPhase(angle); }
+
   private:
     enum class Phase
     {
@@ -384,6 +429,15 @@ class DiskDrive
         sim::Tick predRotAt = sim::kTickNever;
         /** Bumped per arena-slot reuse; tags in-flight ids. */
         std::uint32_t gen = 0;
+        /**
+         * Admissible lower bound on this access's completion tick,
+         * refreshed at every phase transition (exact once
+         * Transferring). Riders complete with their access, so one
+         * floor covers them all.
+         */
+        sim::Tick doneFloor = 0;
+        /** Slot holds a live access (vs free-list member). */
+        bool inUse = false;
         /** Contiguous requests folded into this media access. */
         std::vector<workload::IoRequest> riders;
     };
@@ -542,6 +596,17 @@ class DiskDrive
     bool rpmShifting_ = false;
     std::uint32_t shiftTo_ = 0;
 
+    /**
+     * Min-heap of scheduled cache-hit / write-absorb completion ticks
+     * (only fed while trackHitBounds_; lazily pruned by
+     * completionBoundTicks against the round start, which is the
+     * global minimum pending activity — entries behind it fired).
+     */
+    std::vector<sim::Tick> hitHeap_;
+    bool trackHitBounds_ = false;
+    /** Densest zone's sectors-per-track (fastest one-sector sweep). */
+    std::uint32_t maxSpt_ = 1;
+
     std::uint32_t totalSectors(const Active &active) const;
     void tryDispatch();
     void startService(Active active);
@@ -621,6 +686,14 @@ class DiskDrive
     sim::Tick transferTicks(const geom::Chs &start,
                             std::uint32_t sectors) const;
     sim::Tick busTicks(std::uint32_t sectors) const;
+    /**
+     * Minimum one-sector media path: controller overhead plus the
+     * densest zone's one-sector sweep at the fastest reachable RPM
+     * (see minServiceFloorTicks), divided by the parallelism the spec
+     * grants a single access. Ignores seek, settle, and rotational
+     * wait — all nonnegative — so it lower-bounds any media transfer.
+     */
+    sim::Tick minTransferFloorTicks() const;
 };
 
 } // namespace disk

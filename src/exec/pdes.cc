@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 
 #include "bus/bus.hh"
@@ -45,6 +46,20 @@ PdesOptions::resolve(int override_workers)
     return opts;
 }
 
+PdesHorizonMode
+pdesHorizonModeFromEnv()
+{
+    const char *env = std::getenv("IDP_PDES_HORIZON");
+    if (env == nullptr || *env == '\0' ||
+        std::strcmp(env, "dynamic") == 0)
+        return PdesHorizonMode::Dynamic;
+    if (std::strcmp(env, "static") == 0)
+        return PdesHorizonMode::Static;
+    sim::panic(std::string("IDP_PDES_HORIZON: unknown mode \"") + env +
+               "\" (use \"static\" or \"dynamic\")");
+    return PdesHorizonMode::Dynamic;
+}
+
 sim::Tick
 pdesLookahead(const array::ArrayParams &params)
 {
@@ -66,8 +81,14 @@ pdesLookahead(const array::ArrayParams &params)
 }
 
 const char *
-pdesUnsupportedReason(const array::ArrayParams &params)
+pdesUnsupportedReason(const array::ArrayParams &params,
+                      PdesHorizonMode mode)
 {
+    // Dynamic horizons price every feedback path off live state and
+    // absorb membership-visible events at barrier-synchronized serial
+    // steps, so nothing is rejected.
+    if (mode == PdesHorizonMode::Dynamic)
+        return nullptr;
     if (params.layout == array::Layout::Raid1)
         return "RAID-1 read routing prices replicas against live "
                "drive state (arm positions, spindle phase, queue "
@@ -87,12 +108,29 @@ pdesUnsupportedReason(const array::ArrayParams &params)
     return nullptr;
 }
 
+const char *
+pdesUnsupportedReason(const array::ArrayParams &params)
+{
+    return pdesUnsupportedReason(params, pdesHorizonModeFromEnv());
+}
+
 PdesRun::PdesRun(const array::ArrayParams &params, unsigned workers,
                  const telemetry::TraceOptions &trace_options)
 {
-    if (const char *why = pdesUnsupportedReason(params))
+    mode_ = pdesHorizonModeFromEnv();
+    if (const char *why = pdesUnsupportedReason(params, mode_))
         sim::fatal(std::string("pdes: ") + why);
     lookahead_ = pdesLookahead(params);
+    if (mode_ == PdesHorizonMode::Dynamic) {
+        serialCoordConfig_ = params.layout == array::Layout::Raid1 ||
+            power::applyGovernorEnv(params.governor).enabled;
+        feedbackConfig_ =
+            params.layout == array::Layout::Raid5 && !params.useBus;
+        busLookahead_ = params.useBus
+            ? bus::Bus::minTransferTicks(params.bus, geom::kSectorBytes)
+            : sim::kTickNever;
+        barriers_.reserve(16);
+    }
 
     coordSim_.setVerifyDomain(0);
     arraySim_.setVerifyDomain(1);
@@ -120,6 +158,14 @@ void
 PdesRun::deliver(std::uint32_t disk_idx,
                  const workload::IoRequest &sub, sim::Tick at)
 {
+    // Inside a serial step every calendar sits on the step tick, so a
+    // same-tick delivery submits straight into the member — exactly
+    // the serial path's inline call, preserving its queue contents at
+    // the instant the drive picks its next request.
+    if (serialStepActive_ && at <= horizon_) {
+        arr_->injectSub(disk_idx, sub);
+        return;
+    }
     // Array-phase deliveries (bus-done writes, deferred RMW) must land
     // at or beyond the horizon: this round's drive windows have
     // already run. Coordinator-phase deliveries land inside the
@@ -135,6 +181,16 @@ PdesRun::complete(std::uint32_t disk_idx,
                   const workload::IoRequest &sub, sim::Tick done,
                   const disk::ServiceInfo &info)
 {
+    // Serial steps run single-threaded with every calendar at the
+    // step tick: replay the completion inline, as the serial path
+    // would. Zero-latency resubmissions (busless RMW second phase)
+    // then land in member queues before the completing drive
+    // dispatches its next request — capture-and-merge would be one
+    // dispatch too late.
+    if (serialStepActive_) {
+        arr_->replaySubComplete(disk_idx, sub, done, info);
+        return;
+    }
     std::vector<OutRec> &out = outbox_[disk_idx];
     OutRec rec;
     rec.done = done;
@@ -173,14 +229,45 @@ PdesRun::run()
         checker_->reserveDisks(drives);
     }
 
+    const bool dynamic = mode_ == PdesHorizonMode::Dynamic;
+    // Both modes: windowed rounds are not serially synchronized, so
+    // completions captured there must go through the merge.
+    serialStepActive_ = false;
     for (;;) {
         const sim::Tick next_t = nextActivityTick();
         if (next_t == sim::kTickNever)
             break;
         ++rounds_;
-        const sim::Tick h = lookahead_ == sim::kTickNever
-            ? sim::kTickNever
-            : next_t + lookahead_;
+        sim::Tick h;
+        if (dynamic) {
+            // Retire barriers the activity already moved past (their
+            // tick executed, or carried no event at all).
+            while (!barriers_.empty() && barriers_.front() < next_t) {
+                std::pop_heap(barriers_.begin(), barriers_.end(),
+                              std::greater<sim::Tick>());
+                barriers_.pop_back();
+            }
+            h = computeHorizon(next_t);
+            if (h <= next_t) {
+                serialStep(next_t);
+                continue;
+            }
+            // Telemetry: log2-bucketed window width.
+            if (h == sim::kTickNever) {
+                ++horizonHist_[kHorizonBuckets - 1];
+            } else {
+                sim::Tick width = h - next_t;
+                std::size_t b = 0;
+                while (width >>= 1)
+                    ++b;
+                ++horizonHist_[std::min<std::size_t>(
+                    b, kHorizonBuckets - 2)];
+            }
+        } else {
+            h = lookahead_ == sim::kTickNever
+                ? sim::kTickNever
+                : next_t + lookahead_;
+        }
         horizon_ = h;
 
         // Phase A: coordinator window (workload feed + fan-out).
@@ -196,6 +283,121 @@ PdesRun::run()
         active_ = &coordSim_;
     }
     finishRun();
+}
+
+void
+PdesRun::addBarrier(sim::Tick at)
+{
+    sim::simAssert(mode_ == PdesHorizonMode::Dynamic,
+                   "pdes: barriers need dynamic horizons "
+                   "(IDP_PDES_HORIZON=dynamic)");
+    barriers_.push_back(at);
+    std::push_heap(barriers_.begin(), barriers_.end(),
+                   std::greater<sim::Tick>());
+}
+
+sim::Tick
+PdesRun::computeHorizon(sim::Tick t)
+{
+    sim::Tick h = sim::kTickNever;
+    if (busLookahead_ != sim::kTickNever)
+        h = std::min(h, t + busLookahead_);
+    if (!barriers_.empty())
+        h = std::min(h, barriers_.front());
+    // A streaming rebuild makes any config coordinator-serial (the
+    // pump reads live foreground queue depths) and feedback-coupled
+    // (its completions re-arm the pump with new member submits).
+    const bool serial_coord = serialCoordConfig_ || rebuildActive_;
+    const bool feedback = feedbackConfig_ || rebuildActive_;
+    if (serial_coord)
+        h = std::min(h, coordSim_.nextEventTime());
+    sim::Tick min_floor = sim::kTickNever;
+    const auto drives = static_cast<std::uint32_t>(driveSims_.size());
+    for (std::uint32_t i = 0; i < drives; ++i) {
+        // Query unconditionally: the call also lazily prunes the
+        // drive's cache-hit bound heap against the advancing round
+        // start, keeping it at O(outstanding hits).
+        const sim::Tick bound = arr_->driveCompletionBound(i, t);
+        if (!feedback)
+            continue;
+        h = std::min(h, bound);
+        const sim::Tick floor = arr_->driveMinServiceFloor(i);
+        min_floor = std::min(min_floor, floor);
+        // Undelivered cross-layer work becomes drive work at item.at.
+        for (const InItem &item : inbox_[i])
+            h = std::min(h, item.at + floor);
+    }
+    if (feedback && min_floor != sim::kTickNever) {
+        // The coordinator's next feed event can create fresh drive
+        // work; nothing it creates can complete before this.
+        const sim::Tick cn = coordSim_.nextEventTime();
+        if (cn != sim::kTickNever)
+            h = std::min(h, cn + min_floor);
+    }
+    return h;
+}
+
+void
+PdesRun::serialStep(sim::Tick t)
+{
+    ++serialSteps_;
+    serialStepActive_ = true;
+    horizon_ = t;
+    // Synchronize every calendar on t first, so coordinator events
+    // (replica pricing, governor snapshots, the rebuild pump) read
+    // exactly the serial run's drive state. t is the global minimum
+    // pending activity, so no calendar has anything behind it.
+    coordSim_.advanceTo(t);
+    arraySim_.advanceTo(t);
+    for (auto &s : driveSims_)
+        s->advanceTo(t);
+    // Phase fixpoint: an event at t may create more same-tick work on
+    // any calendar (rebuild completion -> pump -> member submits);
+    // loop until nothing at or before t remains anywhere.
+    for (;;) {
+        bool progress = false;
+        if (coordSim_.nextEventTime() <= t) {
+            active_ = &coordSim_;
+            coordSim_.runBefore(t + 1);
+            progress = true;
+        }
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(driveSims_.size()); ++i) {
+            bool has = driveSims_[i]->nextEventTime() <= t;
+            if (!has)
+                for (const InItem &item : inbox_[i])
+                    if (item.at <= t) {
+                        has = true;
+                        break;
+                    }
+            if (!has)
+                continue;
+            driveWindowTask(i, t + 1);
+            progress = true;
+        }
+        bool merge = arraySim_.nextEventTime() <= t;
+        if (!merge)
+            for (const auto &out : outbox_)
+                if (!out.empty()) {
+                    merge = true;
+                    break;
+                }
+        if (merge) {
+            active_ = &arraySim_;
+            mergePhase(t + 1);
+            progress = true;
+        }
+        active_ = &coordSim_;
+        if (!progress)
+            break;
+    }
+    // The barrier (if any) at t has now executed serially.
+    while (!barriers_.empty() && barriers_.front() <= t) {
+        std::pop_heap(barriers_.begin(), barriers_.end(),
+                      std::greater<sim::Tick>());
+        barriers_.pop_back();
+    }
+    serialStepActive_ = false;
 }
 
 void
@@ -316,6 +518,9 @@ PdesRun::finishRun()
     arraySim_.advanceTo(end);
     for (auto &s : driveSims_)
         s->advanceTo(end);
+    // Back outside the run loop, membership mutations are safe again.
+    serialStepActive_ = true;
+    barriers_.clear();
 }
 
 std::uint64_t

@@ -33,13 +33,36 @@
  * all: lookahead is infinite and the whole run is a single round of
  * full drive parallelism.
  *
- * Configurations with a zero-latency feedback path (RAID-5
- * read-modify-write without a bus, RAID-1's replica routing — which
- * prices each replica off live drive state: arm positions and
- * spindle phase under the positioning policy, queue depths under the
- * legacy one, both mutated by in-window dispatches on other
- * calendars) admit no conservative window and are rejected up front
- * with a clear error — see pdesUnsupportedReason().
+ * Horizons come in two modes (IDP_PDES_HORIZON):
+ *
+ * - "static" reproduces the original engine exactly: the window width
+ *   is a per-config constant L = pdesLookahead(params), and configs
+ *   with a zero-latency feedback path (RAID-1 replica routing priced
+ *   off live drive state, busless RAID-5 read-modify-write, the
+ *   energy governor) are rejected up front — see
+ *   pdesUnsupportedReason().
+ *
+ * - "dynamic" (the default) derives the horizon per round from live
+ *   state instead of the spec, which makes all of the above legal.
+ *   Each drive exports an admissible lower bound on its earliest next
+ *   host-visible completion (DiskDrive::completionBoundTicks: exact
+ *   in-flight transfer ends, phase floors of earlier stages, a
+ *   queued-work floor of seek-free + rotation-free one-sector service
+ *   — an idle drive with an empty inbox is unbounded until the
+ *   coordinator feeds it). The round's horizon is the min over
+ *   those bounds (when completions feed submissions), pending
+ *   cross-layer deliveries plus their minimum service, the staged-bus
+ *   latency, the next coordinator event (when coordinator events read
+ *   live drive state — RAID-1 pricing, governor control, the rebuild
+ *   pump), and explicit *horizon barriers* — membership-visible
+ *   events (failDisk, rebuild start) registered via
+ *   ArrayBridge::addBarrier. A round whose horizon collapses onto the
+ *   round start executes as a *serial step*: every calendar is
+ *   advanced to that tick and the phases loop to a fixpoint, so the
+ *   event sees exactly the serial run's state; wider horizons run the
+ *   usual parallel window. Conservative-window admissibility is the
+ *   same Chandy–Misra–Bryant argument, with the bound re-derived
+ *   every round.
  */
 
 #ifndef IDP_EXEC_PDES_HH
@@ -77,15 +100,32 @@ struct PdesOptions
     static PdesOptions resolve(int override_workers);
 };
 
+/** How the engine derives each round's synchronization horizon. */
+enum class PdesHorizonMode
+{
+    Static,  ///< per-config constant lookahead (the original engine)
+    Dynamic, ///< per-round state-derived bound + horizon barriers
+};
+
+/** IDP_PDES_HORIZON: unset/"dynamic" -> Dynamic, "static" -> Static;
+ *  anything else is fatal. */
+PdesHorizonMode pdesHorizonModeFromEnv();
+
 /**
  * Conservative lookahead window for @p params, in ticks: the minimum
  * latency of any completion->submission feedback path between drives.
  * kTickNever when no such path exists (open-loop fan-out without a
- * bus); 0 when a zero-latency path makes PDES inadmissible.
+ * bus); 0 when a zero-latency path makes static-mode PDES
+ * inadmissible.
  */
 sim::Tick pdesLookahead(const array::ArrayParams &params);
 
-/** Why @p params cannot run under PDES, or nullptr if they can. */
+/** Why @p params cannot run under PDES in @p mode, or nullptr if they
+ *  can. Dynamic horizons support every configuration. */
+const char *pdesUnsupportedReason(const array::ArrayParams &params,
+                                  PdesHorizonMode mode);
+
+/** pdesUnsupportedReason under the environment-selected mode. */
 const char *pdesUnsupportedReason(const array::ArrayParams &params);
 
 /** Merge key at a synchronization horizon: completions replay in
@@ -146,6 +186,23 @@ class PdesRun final : public array::ArrayBridge
     /** Synchronization rounds executed (kTickNever lookahead = 1). */
     std::uint64_t rounds() const { return rounds_; }
 
+    /** Rounds whose horizon collapsed onto the round start and ran as
+     *  a fully synchronized serial step (dynamic mode only). */
+    std::uint64_t serialSteps() const { return serialSteps_; }
+
+    PdesHorizonMode horizonMode() const { return mode_; }
+
+    /** Number of horizon-width histogram buckets: log2(h - t) clamps
+     *  into [0, 62]; bucket 63 counts unbounded (kTickNever) rounds. */
+    static constexpr std::size_t kHorizonBuckets = 64;
+
+    /** Windowed-round width histogram, log2-bucketed; serial steps
+     *  are counted by serialSteps(), not here. */
+    const std::uint64_t *horizonWidthHist() const
+    {
+        return horizonHist_;
+    }
+
     sim::Tick lookahead() const { return lookahead_; }
     unsigned workerCount() const { return workers_; }
 
@@ -173,6 +230,20 @@ class PdesRun final : public array::ArrayBridge
                  sim::Tick at) override;
     void complete(std::uint32_t disk_idx, const workload::IoRequest &sub,
                   sim::Tick done, const disk::ServiceInfo &info) override;
+    bool supportsBarriers() const override
+    {
+        return mode_ == PdesHorizonMode::Dynamic;
+    }
+    void addBarrier(sim::Tick at) override;
+    bool atSerialStep() const override { return serialStepActive_; }
+    void noteRebuildActive(bool active) override
+    {
+        rebuildActive_ = active;
+    }
+    bool wantsCompletionBounds() const override
+    {
+        return mode_ == PdesHorizonMode::Dynamic;
+    }
 
   private:
     /** Inbound cross-layer delivery, consumed by a drive window in
@@ -196,6 +267,15 @@ class PdesRun final : public array::ArrayBridge
     };
 
     sim::Tick nextActivityTick();
+    /** Dynamic-mode horizon for the round starting at @p t: the min
+     *  admissible bound over drives, inboxes, staged bus movements,
+     *  barriers, and (when coordinator events read live drive state)
+     *  the next coordinator event. Allocation-free. */
+    sim::Tick computeHorizon(sim::Tick t);
+    /** Execute tick @p t fully synchronized: advance every calendar
+     *  to @p t and loop coordinator/drive/merge phases until no
+     *  activity at or before @p t remains. */
+    void serialStep(sim::Tick t);
     void runDrives(sim::Tick horizon);
     /** Worker entry: installs the run's thread-local currents. */
     void driveWindowTask(std::uint32_t i, sim::Tick horizon);
@@ -220,8 +300,29 @@ class PdesRun final : public array::ArrayBridge
     sim::Tick horizon_ = 0;
     sim::Tick endTick_ = 0;
     std::uint64_t rounds_ = 0;
+    std::uint64_t serialSteps_ = 0;
     std::uint64_t deliverSeq_ = 0;
     unsigned workers_ = 1;
+
+    PdesHorizonMode mode_ = PdesHorizonMode::Dynamic;
+    /** Coordinator events read live drive state (RAID-1 replica
+     *  pricing, governor control ticks) — run them at serial steps. */
+    bool serialCoordConfig_ = false;
+    /** Completions feed new submissions with no bus latency (busless
+     *  RAID-5 RMW) — cap horizons at the drive completion bounds. */
+    bool feedbackConfig_ = false;
+    /** A rebuild is streaming: its pump reads live foreground queue
+     *  depths (serial coordinator) and its completions re-arm it
+     *  (completion feedback), regardless of the base config. */
+    bool rebuildActive_ = false;
+    /** True outside the run loop and inside serial steps; guards
+     *  membership-visible mutations (StorageArray::failDisk). */
+    bool serialStepActive_ = true;
+    /** Min staged-bus latency, kTickNever without a bus. */
+    sim::Tick busLookahead_ = sim::kTickNever;
+    /** Min-heap (std::greater) of barrier ticks; see addBarrier. */
+    std::vector<sim::Tick> barriers_;
+    std::uint64_t horizonHist_[kHorizonBuckets] = {};
 
     /** Pool is created on the first round that has >= 2 busy drives;
      *  private to this run, so pool_->wait() is a safe barrier. */

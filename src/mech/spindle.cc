@@ -23,6 +23,16 @@ Spindle::periodMs() const
 }
 
 void
+Spindle::setPhase(double angle)
+{
+    sim::simAssert(angle >= 0.0 && angle < 1.0,
+                   "spindle: phase must be in [0, 1)");
+    sim::simAssert(segments_ == 1 && segStart_ == 0,
+                   "spindle: setPhase after a speed change");
+    segAngle_ = angle;
+}
+
+void
 Spindle::setRpm(sim::Tick at, std::uint32_t rpm)
 {
     sim::simAssert(rpm > 0, "spindle: rpm must be > 0");
@@ -48,8 +58,9 @@ Spindle::rotationAt(sim::Tick t) const
     const double turn =
         static_cast<double>((t - segStart_) % period_) /
         static_cast<double>(period_);
-    // frac(segAngle_ + turn); segAngle_ is 0 for the initial segment,
-    // keeping the single-segment case exactly (t % period) / period.
+    // frac(segAngle_ + turn); segAngle_ defaults to 0 for the initial
+    // segment, keeping the unskewed single-segment case exactly
+    // (t % period) / period.
     const double angle = segAngle_ + turn;
     return angle >= 1.0 ? angle - 1.0 : angle;
 }

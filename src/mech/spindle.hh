@@ -46,6 +46,16 @@ class Spindle
     double periodMs() const;
 
     /**
+     * Set the platter's angle at tick 0, in revolutions [0, 1).
+     * Models the arbitrary rotational phase a spindle happens to be
+     * in when the run starts — independent across the drives of an
+     * array. Configuration-time only: must precede any setRpm. The
+     * default 0 keeps a standalone drive bit-identical to the
+     * historical aligned-start model.
+     */
+    void setPhase(double angle);
+
+    /**
      * Switch to @p rpm at time @p at, starting a new segment whose
      * initial angle is the old segment's rotation at @p at (angle
      * continuity). @p at must not precede the current segment's start;
@@ -81,8 +91,9 @@ class Spindle
     std::uint32_t rpm_;
     sim::Tick period_;
     /** Current segment: start tick and the angle at that tick. The
-     *  initial segment starts at tick 0 with angle 0, making the
-     *  single-segment case bit-identical to the constant-RPM model. */
+     *  initial segment starts at tick 0 with angle 0 (unless skewed
+     *  via setPhase), making the single-segment case bit-identical
+     *  to the constant-RPM model. */
     sim::Tick segStart_ = 0;
     double segAngle_ = 0.0;
     std::uint32_t segments_ = 1;

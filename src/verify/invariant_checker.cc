@@ -157,6 +157,35 @@ InvariantChecker::diskComplete(std::uint32_t dev, std::uint64_t id,
 }
 
 void
+InvariantChecker::checkPositioningBound(std::uint32_t dev,
+                                        sim::Tick lower_bound,
+                                        sim::Tick exact)
+{
+    observations_.fetch_add(1, std::memory_order_relaxed);
+    if (lower_bound <= exact) [[likely]]
+        return;
+    std::ostringstream os;
+    os << "disk " << dev << ": pure-seek lower bound " << lower_bound
+       << " exceeds the exact positioning price " << exact
+       << " -- pruning/horizon bound is inadmissible";
+    fail(os.str());
+}
+
+void
+InvariantChecker::checkServiceBound(std::uint32_t dev, sim::Tick floor,
+                                    sim::Tick done)
+{
+    observations_.fetch_add(1, std::memory_order_relaxed);
+    if (floor <= done) [[likely]]
+        return;
+    std::ostringstream os;
+    os << "disk " << dev << ": completion floor " << floor
+       << " lies after the actual completion " << done
+       << " -- dynamic-horizon bound is inadmissible";
+    fail(os.str());
+}
+
+void
 InvariantChecker::checkSchedChoice(const char *policy,
                                    std::uint32_t got_slot,
                                    std::uint32_t got_arm,

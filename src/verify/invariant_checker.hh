@@ -85,6 +85,16 @@ class InvariantChecker
                             std::uint32_t active_transfers,
                             std::uint32_t max_transfers);
 
+    /** The pure-seek lower bound must not exceed the exact
+     *  seek+rotation positioning price (admissibility of the pruning
+     *  bound and of the PDES dynamic-horizon seek floor). */
+    void checkPositioningBound(std::uint32_t dev,
+                               sim::Tick lower_bound, sim::Tick exact);
+    /** A completed access's maintained completion floor must not lie
+     *  in the future of the actual completion tick. */
+    void checkServiceBound(std::uint32_t dev, sim::Tick floor,
+                           sim::Tick done);
+
     // -- scheduler level ---------------------------------------------
     /** A sampled pruned-scan pick must equal the exhaustive pick. */
     void checkSchedChoice(const char *policy, std::uint32_t got_slot,

@@ -100,6 +100,32 @@ onDiskOccupancy(std::uint32_t dev, std::size_t in_flight,
                                active_transfers, max_transfers);
 }
 
+/**
+ * The positioning oracle priced a (request, arm) pair: the pure-seek
+ * pruning bound (also the PDES horizon floor's seek ingredient) must
+ * never exceed the exact seek+rotation price — including mid-RPM-ramp,
+ * where every period-derived term re-derives per segment.
+ */
+inline void
+onPositioningBound(std::uint32_t dev, sim::Tick lower_bound,
+                   sim::Tick exact)
+{
+    if (InvariantChecker *vc = activeChecker())
+        vc->checkPositioningBound(dev, lower_bound, exact);
+}
+
+/**
+ * A media access completed at @p done; its maintained completion
+ * floor (the PDES dynamic-horizon ingredient) must be admissible,
+ * i.e. never in the future of the actual completion.
+ */
+inline void
+onDiskServiceBound(std::uint32_t dev, sim::Tick floor, sim::Tick done)
+{
+    if (InvariantChecker *vc = activeChecker())
+        vc->checkServiceBound(dev, floor, done);
+}
+
 // ---------------------------------------------------------------
 // Scheduler hooks
 // ---------------------------------------------------------------

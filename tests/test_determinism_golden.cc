@@ -25,12 +25,14 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "array/rebuild.hh"
 #include "array/storage_array.hh"
 #include "core/csv_export.hh"
 #include "core/experiment.hh"
+#include "exec/pdes.hh"
 #include "stats/table.hh"
 #include "workload/synthetic.hh"
 
@@ -132,16 +134,44 @@ pdesScenario(const std::string &name)
                     1),
                 5000};
     }
-    // RAID-5 with the host bus modeled: the finite-lookahead regime,
-    // where windows are bounded by the one-sector bus transfer. Kept
-    // shorter — the run synchronizes every ~12 us of simulated time.
-    core::SystemConfig raid5;
-    raid5.name = "RAID5-4";
-    raid5.array.layout = array::Layout::Raid5;
-    raid5.array.disks = 4;
-    raid5.array.drive = disk::barracudaEs750();
-    raid5.array.useBus = true;
-    return {"/tests/golden/determinism_pdes_raid5.csv", raid5, 1500};
+    if (name == "raid5") {
+        // RAID-5 with the host bus modeled: the finite-lookahead
+        // regime, where windows are bounded by the one-sector bus
+        // transfer. Kept shorter — the run synchronizes every ~12 us
+        // of simulated time.
+        core::SystemConfig raid5;
+        raid5.name = "RAID5-4";
+        raid5.array.layout = array::Layout::Raid5;
+        raid5.array.disks = 4;
+        raid5.array.drive = disk::barracudaEs750();
+        raid5.array.useBus = true;
+        return {"/tests/golden/determinism_pdes_raid5.csv", raid5,
+                1500};
+    }
+    if (name == "raid1") {
+        // RAID-1 with positioning-priced replica dispatch: the
+        // coordinator reads live arm/rotation state on every read, so
+        // the dynamic engine must serialize each dispatch tick while
+        // still parallelizing the drive windows between them.
+        core::SystemConfig raid1;
+        raid1.name = "RAID1-4";
+        raid1.array.layout = array::Layout::Raid1;
+        raid1.array.disks = 4;
+        raid1.array.drive = disk::barracudaEs750();
+        return {"/tests/golden/determinism_pdes_raid1.csv", raid1,
+                3000};
+    }
+    // Busless RAID-5: read-modify-write resubmits at the completion
+    // tick with zero bus latency — the static engine rejects it, the
+    // dynamic engine bounds horizons by drive completion floors.
+    core::SystemConfig nobus;
+    nobus.name = "RAID5-4-nobus";
+    nobus.array.layout = array::Layout::Raid5;
+    nobus.array.disks = 4;
+    nobus.array.drive = disk::barracudaEs750();
+    nobus.array.useBus = false;
+    return {"/tests/golden/determinism_pdes_raid5_nobus.csv", nobus,
+            1500};
 }
 
 std::string
@@ -193,12 +223,15 @@ TEST_P(PdesGolden, MatrixMatchesGoldenFileAtEveryWorkerCount)
         << "serial output drifted from " << scenario.golden;
     EXPECT_EQ(golden.str(), runPdesScenario(scenario, 1))
         << "PDES(1 worker) diverged from " << scenario.golden;
+    EXPECT_EQ(golden.str(), runPdesScenario(scenario, 4))
+        << "PDES(4 workers) diverged from " << scenario.golden;
     EXPECT_EQ(golden.str(), runPdesScenario(scenario, 8))
         << "PDES(8 workers) diverged from " << scenario.golden;
 }
 
 INSTANTIATE_TEST_SUITE_P(Matrix, PdesGolden,
-                         testing::Values("sa1", "sa4", "raid5"),
+                         testing::Values("sa1", "sa4", "raid5",
+                                         "raid1", "raid5nobus"),
                          [](const auto &info) {
                              return std::string(info.param);
                          });
@@ -208,11 +241,14 @@ INSTANTIATE_TEST_SUITE_P(Matrix, PdesGolden,
 // with work in flight) and rebuilding RAID-1 (spare reconstruction
 // streams under foreground traffic). runTrace has no failure hook, so
 // these drive a Simulator + StorageArray directly and pin a summary
-// CSV of the response/accounting numbers.
+// CSV of the response/accounting numbers. With pdes_workers > 0 the
+// same scenario runs under the dynamic-horizon engine: the mid-run
+// failure goes through scheduleFailDisk (a horizon barrier) and the
+// bytes must not move.
 // ---------------------------------------------------------------
 
 std::string
-runFailureScenario(const std::string &name)
+runFailureScenario(const std::string &name, int pdes_workers = 0)
 {
     const bool rebuilding = name == "rebuild_raid1";
     array::ArrayParams params;
@@ -226,13 +262,16 @@ runFailureScenario(const std::string &name)
         params.stripeSectors = 16;
     }
 
-    sim::Simulator simul;
-    std::uint64_t completions = 0;
-    array::StorageArray arr(
-        simul, params,
-        [&completions](const workload::IoRequest &, sim::Tick) {
-            ++completions;
-        });
+    std::unique_ptr<exec::PdesRun> prun;
+    if (pdes_workers > 0)
+        prun = std::make_unique<exec::PdesRun>(
+            params, static_cast<unsigned>(pdes_workers),
+            telemetry::TraceOptions{});
+    sim::Simulator serial_sim;
+    sim::Simulator &simul = prun ? prun->coordSim() : serial_sim;
+    array::StorageArray arr(simul, params, nullptr, prun.get());
+    if (prun)
+        prun->setArray(&arr);
 
     workload::SyntheticParams wp;
     wp.requests = 2000;
@@ -244,22 +283,29 @@ runFailureScenario(const std::string &name)
         simul.schedule(req.arrival, [&arr, req] { arr.submit(req); });
 
     if (rebuilding) {
+        // Before run(): every calendar still sits at tick 0, so the
+        // direct calls are serially synchronized in both modes.
         arr.failDisk(0);
         array::RebuildParams rp;
         rp.chunkSectors = 65536;
         arr.startRebuild(0, rp);
+    } else if (prun) {
+        arr.scheduleFailDisk(1, 50 * sim::kTicksPerMs);
     } else {
         simul.schedule(50 * sim::kTicksPerMs,
                        [&arr] { arr.failDisk(1); });
     }
-    simul.run();
+    if (prun)
+        prun->run();
+    else
+        simul.run();
     arr.sealStats();
 
     const array::ArrayStats &st = arr.stats();
     std::ostringstream os;
     os << "scenario,completions,dropped,tainted,samples,"
           "mean_ms,p90_ms,p99_ms\n";
-    os << name << ',' << completions << ','
+    os << name << ',' << st.logicalCompletions << ','
        << st.droppedSubCompletions << ',' << st.taintedJoins << ','
        << st.responseMs.count() << ',' << stats::fmt(st.responseMs.mean(), 4)
        << ',' << stats::fmt(st.responseMs.p90(), 4) << ','
@@ -309,6 +355,17 @@ TEST_P(FailureGolden, ScenarioIsRunToRunStable)
 {
     EXPECT_EQ(runFailureScenario(GetParam()),
               runFailureScenario(GetParam()));
+}
+
+TEST_P(FailureGolden, PdesMatchesSerialAtEveryWorkerCount)
+{
+    // The mid-run failDisk becomes a horizon barrier and the rebuild
+    // stream serializes its pump ticks; the summary bytes must match
+    // the serial run at any worker count.
+    const std::string serial = runFailureScenario(GetParam(), 0);
+    EXPECT_EQ(serial, runFailureScenario(GetParam(), 1));
+    EXPECT_EQ(serial, runFailureScenario(GetParam(), 4));
+    EXPECT_EQ(serial, runFailureScenario(GetParam(), 8));
 }
 
 INSTANTIATE_TEST_SUITE_P(Lifecycle, FailureGolden,

@@ -229,26 +229,34 @@ TEST(GovernorDeathTest, BadEnvValueIsFatal)
 }
 
 // ---------------------------------------------------------------
-// PDES: governed configurations are rejected up front with a clear
-// error, not silently mis-simulated across calendars.
+// PDES: under the static-horizon escape hatch, governed
+// configurations are rejected up front with a clear error. The
+// default dynamic-horizon engine accepts them (control ticks become
+// horizon barriers) and must replicate the serial bytes.
 // ---------------------------------------------------------------
 
-TEST(GovernorPdes, UnsupportedReasonNamesTheGovernor)
+TEST(GovernorPdes, StaticHorizonNamesTheGovernorDynamicAcceptsIt)
 {
     core::SystemConfig config = core::makeRaid0System(
         "governed",
         disk::makeIntraDiskParallel(disk::barracudaEs750(), 2), 4);
-    EXPECT_EQ(exec::pdesUnsupportedReason(config.array), nullptr);
+    EXPECT_EQ(exec::pdesUnsupportedReason(
+                  config.array, exec::PdesHorizonMode::Static),
+              nullptr);
     config.array.governor = testGovernor();
-    ASSERT_NE(exec::pdesUnsupportedReason(config.array), nullptr);
-    EXPECT_NE(std::string(exec::pdesUnsupportedReason(config.array))
-                  .find("governor"),
-              std::string::npos);
+    const char *why = exec::pdesUnsupportedReason(
+        config.array, exec::PdesHorizonMode::Static);
+    ASSERT_NE(why, nullptr);
+    EXPECT_NE(std::string(why).find("governor"), std::string::npos);
+    EXPECT_EQ(exec::pdesUnsupportedReason(
+                  config.array, exec::PdesHorizonMode::Dynamic),
+              nullptr);
 }
 
-TEST(GovernorPdesDeathTest, GovernedRunUnderPdesIsFatal)
+TEST(GovernorPdesDeathTest, GovernedRunUnderStaticPdesIsFatal)
 {
     testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ASSERT_EQ(setenv("IDP_PDES_HORIZON", "static", 1), 0);
     workload::SyntheticParams wp;
     wp.requests = 10;
     const auto trace = workload::generateSynthetic(wp);
@@ -259,6 +267,34 @@ TEST(GovernorPdesDeathTest, GovernedRunUnderPdesIsFatal)
     config.pdesWorkers = 2;
     EXPECT_EXIT(core::runTrace(trace, config),
                 ::testing::ExitedWithCode(1), "governor");
+    ASSERT_EQ(unsetenv("IDP_PDES_HORIZON"), 0);
+}
+
+TEST(GovernorPdes, GovernedRunUnderDynamicPdesMatchesSerial)
+{
+    workload::SyntheticParams wp;
+    wp.requests = 1200;
+    wp.meanInterArrivalMs = 10.0; // light: the governor gets to act
+    const auto trace = workload::generateSynthetic(wp);
+
+    auto csvAt = [&](int pdes_workers) {
+        core::SystemConfig config = core::makeRaid0System(
+            "governed-dyn",
+            disk::makeIntraDiskParallel(disk::barracudaEs750(), 2), 4);
+        config.array.governor = testGovernor();
+        config.pdesWorkers = pdes_workers;
+        const std::vector<core::RunResult> results = {
+            core::runTrace(trace, config)};
+        std::ostringstream os;
+        core::writeSummaryCsv(os, results);
+        core::writeCdfCsv(os, results);
+        return os.str();
+    };
+
+    const std::string serial = csvAt(0);
+    EXPECT_EQ(serial, csvAt(1));
+    EXPECT_EQ(serial, csvAt(4));
+    EXPECT_EQ(serial, csvAt(8));
 }
 
 // ---------------------------------------------------------------

@@ -20,6 +20,7 @@
 #include "disk/drive_config.hh"
 #include "exec/pdes.hh"
 #include "geom/geometry.hh"
+#include "power/governor.hh"
 #include "sim/event_queue.hh"
 #include "telemetry/telemetry.hh"
 #include "verify/verify.hh"
@@ -28,6 +29,17 @@
 namespace {
 
 using namespace idp;
+
+/** RAII environment variable override. */
+struct EnvGuard
+{
+    std::string name;
+    EnvGuard(const char *n, const char *value) : name(n)
+    {
+        setenv(n, value, 1);
+    }
+    ~EnvGuard() { unsetenv(name.c_str()); }
+};
 
 // ---------------------------------------------------------------
 // Lookahead derivation
@@ -75,27 +87,75 @@ TEST(PdesLookahead, BusBoundsTheWindowByOneSectorTransfer)
 
 TEST(PdesLookahead, ZeroLookaheadSpecsAreNamed)
 {
+    using exec::PdesHorizonMode;
     core::SystemConfig raid5 = raid5WithBus(4);
     raid5.array.useBus = false;
     EXPECT_EQ(exec::pdesLookahead(raid5.array), 0u);
-    ASSERT_NE(exec::pdesUnsupportedReason(raid5.array), nullptr);
-    EXPECT_NE(std::string(exec::pdesUnsupportedReason(raid5.array))
-                  .find("zero-lookahead"),
+    const char *why = exec::pdesUnsupportedReason(
+        raid5.array, PdesHorizonMode::Static);
+    ASSERT_NE(why, nullptr);
+    EXPECT_NE(std::string(why).find("zero-lookahead"),
               std::string::npos);
 
     core::SystemConfig raid1;
     raid1.array.layout = array::Layout::Raid1;
     raid1.array.disks = 4;
     raid1.array.drive = disk::barracudaEs750();
-    ASSERT_NE(exec::pdesUnsupportedReason(raid1.array), nullptr);
-    EXPECT_NE(std::string(exec::pdesUnsupportedReason(raid1.array))
-                  .find("prices replicas against live drive state"),
+    why = exec::pdesUnsupportedReason(raid1.array,
+                                      PdesHorizonMode::Static);
+    ASSERT_NE(why, nullptr);
+    EXPECT_NE(std::string(why).find(
+                  "prices replicas against live drive state"),
               std::string::npos);
+
+    // The dynamic engine accepts every configuration.
+    EXPECT_EQ(exec::pdesUnsupportedReason(raid5.array,
+                                          PdesHorizonMode::Dynamic),
+              nullptr);
+    EXPECT_EQ(exec::pdesUnsupportedReason(raid1.array,
+                                          PdesHorizonMode::Dynamic),
+              nullptr);
+
+    // The env-reading overload follows IDP_PDES_HORIZON and defaults
+    // to dynamic.
+    EXPECT_EQ(exec::pdesUnsupportedReason(raid1.array), nullptr);
+    {
+        EnvGuard mode("IDP_PDES_HORIZON", "static");
+        EXPECT_NE(exec::pdesUnsupportedReason(raid1.array), nullptr);
+    }
+    {
+        EnvGuard mode("IDP_PDES_HORIZON", "dynamic");
+        EXPECT_EQ(exec::pdesUnsupportedReason(raid1.array), nullptr);
+    }
 }
 
-TEST(PdesLookaheadDeathTest, ZeroLookaheadSpecRejectedWithClearError)
+TEST(PdesLookahead, HorizonModeEnvParsing)
+{
+    EXPECT_EQ(exec::pdesHorizonModeFromEnv(),
+              exec::PdesHorizonMode::Dynamic);
+    {
+        EnvGuard mode("IDP_PDES_HORIZON", "static");
+        EXPECT_EQ(exec::pdesHorizonModeFromEnv(),
+                  exec::PdesHorizonMode::Static);
+    }
+    {
+        EnvGuard mode("IDP_PDES_HORIZON", "");
+        EXPECT_EQ(exec::pdesHorizonModeFromEnv(),
+                  exec::PdesHorizonMode::Dynamic);
+    }
+}
+
+TEST(PdesLookaheadDeathTest, HorizonModeRejectsUnknownValues)
 {
     testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EnvGuard mode("IDP_PDES_HORIZON", "adaptive");
+    EXPECT_DEATH(exec::pdesHorizonModeFromEnv(), "IDP_PDES_HORIZON");
+}
+
+TEST(PdesLookaheadDeathTest, StaticModeRejectsZeroLookaheadSpecs)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EnvGuard mode("IDP_PDES_HORIZON", "static");
     workload::SyntheticParams wp;
     wp.requests = 10;
     const auto trace = workload::generateSynthetic(wp);
@@ -251,17 +311,6 @@ TEST(PdesStress, Raid5BusFiniteWindowByteIdentical)
     EXPECT_EQ(serial, runToCsv(trace, config, 4));
 }
 
-/** RAII environment variable override. */
-struct EnvGuard
-{
-    std::string name;
-    EnvGuard(const char *n, const char *value) : name(n)
-    {
-        setenv(n, value, 1);
-    }
-    ~EnvGuard() { unsetenv(name.c_str()); }
-};
-
 TEST(PdesStress, EnvironmentOptInMatchesSerial)
 {
     workload::SyntheticParams wp;
@@ -313,6 +362,176 @@ TEST(PdesExactness, CheckerAccountingIsExactAcrossWorkerCounts)
     }
     EXPECT_GT(observed[0], trace.size());
     EXPECT_EQ(observed[0], observed[1]);
+}
+
+// ---------------------------------------------------------------
+// Dynamic horizons: the configurations the static engine rejects
+// (RAID-1 replica pricing, busless RAID-5 RMW) must now run and
+// reproduce the serial bytes at several worker counts; the static
+// escape hatch must keep working for bus-bound configs.
+// ---------------------------------------------------------------
+
+core::SystemConfig
+raid1Positioning(std::uint32_t disks)
+{
+    core::SystemConfig config;
+    config.name = "pdes-raid1";
+    config.array.layout = array::Layout::Raid1;
+    config.array.disks = disks;
+    config.array.drive = disk::barracudaEs750();
+    return config;
+}
+
+TEST(PdesDynamic, Raid1PositioningByteIdenticalAcrossWorkers)
+{
+    workload::SyntheticParams wp;
+    wp.requests = 4000;
+    wp.meanInterArrivalMs = 1.0;
+    wp.seed = 0x1A1DULL;
+    const auto trace = workload::generateSynthetic(wp);
+    const core::SystemConfig config = raid1Positioning(4);
+
+    const std::string serial = runToCsv(trace, config, 0);
+    EXPECT_EQ(serial, runToCsv(trace, config, 1));
+    EXPECT_EQ(serial, runToCsv(trace, config, 4));
+    EXPECT_EQ(serial, runToCsv(trace, config, 8));
+}
+
+TEST(PdesDynamic, BuslessRaid5ByteIdenticalAcrossWorkers)
+{
+    workload::SyntheticParams wp;
+    wp.requests = 2000;
+    wp.meanInterArrivalMs = 2.0;
+    wp.seed = 0x0B05ULL;
+    const auto trace = workload::generateSynthetic(wp);
+    core::SystemConfig config = raid5WithBus(4);
+    config.array.useBus = false;
+
+    const std::string serial = runToCsv(trace, config, 0);
+    EXPECT_EQ(serial, runToCsv(trace, config, 1));
+    EXPECT_EQ(serial, runToCsv(trace, config, 4));
+    EXPECT_EQ(serial, runToCsv(trace, config, 8));
+}
+
+TEST(PdesDynamic, StaticEscapeHatchReproducesBusBoundRuns)
+{
+    EnvGuard mode("IDP_PDES_HORIZON", "static");
+    workload::SyntheticParams wp;
+    wp.requests = 1000;
+    wp.meanInterArrivalMs = 2.0;
+    const auto trace = workload::generateSynthetic(wp);
+    const core::SystemConfig config = raid5WithBus(4);
+
+    const std::string serial = runToCsv(trace, config, 0);
+    EXPECT_EQ(serial, runToCsv(trace, config, 4));
+}
+
+TEST(PdesDynamic, SerialStepAndHorizonTelemetry)
+{
+    // RAID-1 replica pricing reads live drive state, so every
+    // dispatch tick must execute as a serial step — the counters and
+    // the width histogram have to reflect that split exactly.
+    array::ArrayParams params;
+    params.layout = array::Layout::Raid1;
+    params.disks = 4;
+    params.drive = disk::barracudaEs750();
+
+    exec::PdesRun prun(params, 4, telemetry::TraceOptions{});
+    ASSERT_EQ(prun.horizonMode(), exec::PdesHorizonMode::Dynamic);
+    array::StorageArray arr(prun.coordSim(), params, nullptr, &prun);
+    prun.setArray(&arr);
+
+    workload::SyntheticParams wp;
+    wp.requests = 500;
+    wp.meanInterArrivalMs = 1.0;
+    const auto trace = workload::generateSynthetic(wp);
+    for (const auto &req : trace)
+        prun.coordSim().schedule(req.arrival,
+                                 [&arr, req] { arr.submit(req); });
+    prun.run();
+
+    EXPECT_GT(prun.serialSteps(), 0u);
+    EXPECT_GE(prun.rounds(), prun.serialSteps());
+    std::uint64_t windowed = 0;
+    for (std::size_t b = 0; b < exec::PdesRun::kHorizonBuckets; ++b)
+        windowed += prun.horizonWidthHist()[b];
+    EXPECT_EQ(windowed + prun.serialSteps(), prun.rounds());
+    EXPECT_EQ(arr.stats().logicalCompletions, trace.size());
+}
+
+// ---------------------------------------------------------------
+// Bound admissibility, pinned through the invariant checker: every
+// pure-seek lower bound (RAID-1 replica pricing) and every completion
+// floor (dynamic horizons) is compared against the exact outcome at
+// the moment it resolves. Randomized across seeds, including runs
+// whose spindle speed changes mid-flight under the energy governor.
+// ---------------------------------------------------------------
+
+TEST(PdesAdmissibility, PositioningBoundsHoldUnderRandomRaid1Load)
+{
+    if (!verify::kCompiledIn)
+        GTEST_SKIP() << "verify compiled out";
+    for (const std::uint64_t seed : {0xA11CEULL, 0xB0BULL, 0xCAB1EULL}) {
+        workload::SyntheticParams wp;
+        wp.requests = 2500;
+        wp.meanInterArrivalMs = 1.0;
+        wp.seed = seed;
+        const auto trace = workload::generateSynthetic(wp);
+
+        for (const int workers : {0, 4}) {
+            verify::InvariantChecker checker(verify::FailMode::Record);
+            verify::VerifyScope scope(&checker);
+            core::SystemConfig config = raid1Positioning(4);
+            config.pdesWorkers = workers;
+            core::runTrace(trace, config);
+            checker.finalize();
+            EXPECT_TRUE(checker.violations().empty())
+                << "seed " << seed << " workers " << workers << ": "
+                << checker.violations().front();
+        }
+    }
+}
+
+TEST(PdesAdmissibility, CompletionFloorsHoldUnderTimeVaryingRpm)
+{
+    if (!verify::kCompiledIn)
+        GTEST_SKIP() << "verify compiled out";
+    // A governed run shifts spindle speed mid-flight; the service
+    // floors priced before and across the shift must stay at or below
+    // every actual completion, or the checker trips.
+    power::GovernorParams g;
+    g.enabled = true;
+    g.windowMs = 50.0;
+    g.sloP99Ms = 80.0;
+    g.busyHigh = 0.5;
+    g.busyLow = 0.2;
+    g.minDwellMs = 200.0;
+    g.rpmLevels = {7200, 5200, 4200};
+
+    for (const std::uint64_t seed : {0x5EEDULL, 0xF00DULL}) {
+        workload::SyntheticParams wp;
+        wp.requests = 1500;
+        wp.meanInterArrivalMs = 8.0; // lulls: the governor downshifts
+        wp.seed = seed;
+        const auto trace = workload::generateSynthetic(wp);
+
+        for (const int workers : {0, 4}) {
+            verify::InvariantChecker checker(verify::FailMode::Record);
+            verify::VerifyScope scope(&checker);
+            core::SystemConfig config = core::makeRaid0System(
+                "governed-bounds",
+                disk::makeIntraDiskParallel(disk::barracudaEs750(), 2),
+                4);
+            config.array.governor = g;
+            config.pdesWorkers = workers;
+            core::runTrace(trace, config);
+            checker.finalize();
+            EXPECT_TRUE(checker.violations().empty())
+                << "seed " << seed << " workers " << workers << ": "
+                << checker.violations().front();
+            EXPECT_GT(checker.observations(), trace.size());
+        }
+    }
 }
 
 TEST(PdesExactness, ModuleCountersExactWithEightWorkers)

@@ -2,12 +2,17 @@
 """Diff two idp-bench-v1 reports.
 
 Usage: tools/bench_diff.py OLD.json NEW.json [--threshold PCT]
+                                             [--fail-on-removed]
 
-Prints a per-metric table of old/new values with absolute and
-relative deltas, and flags metrics that appear in only one report.
-Exits 0 always unless --threshold is given, in which case it exits 1
-when any shared metric moved by more than PCT percent (useful as a
-soft CI tripwire on perf-trajectory reports).
+Prints a per-metric table over the metrics the two reports share,
+then explicit "added" / "removed" sections for keys that appear in
+only one report — a new bench dimension (say, a fresh set of pdes_*
+keys) shows up as a labelled block instead of noise interleaved with
+the deltas. Exits 0 always unless --threshold is given, in which
+case it exits 1 when any shared metric moved by more than PCT
+percent (useful as a soft CI tripwire on perf-trajectory reports);
+--fail-on-removed additionally exits 1 when the new report dropped
+keys the old one had.
 """
 
 import argparse
@@ -42,6 +47,9 @@ def main():
     ap.add_argument("--threshold", type=float, default=None,
                     help="exit 1 if any shared metric moves more "
                          "than this many percent")
+    ap.add_argument("--fail-on-removed", action="store_true",
+                    help="exit 1 if the new report dropped metrics "
+                         "the old one had")
     args = ap.parse_args()
 
     old_bench, old = load(args.old)
@@ -50,23 +58,16 @@ def main():
         print(f"note: comparing different benches "
               f"({old_bench!r} vs {new_bench!r})")
 
-    names = sorted(set(old) | set(new))
-    width = max((len(n) for n in names), default=4)
+    shared = sorted(set(old) & set(new))
+    added = sorted(set(new) - set(old))
+    removed = sorted(set(old) - set(new))
+    width = max((len(n) for n in shared + added + removed),
+                default=4)
     print(f"{'metric':<{width}}  {'old':>12}  {'new':>12}  "
           f"{'delta':>12}  {'%':>8}")
 
     tripped = []
-    for name in names:
-        if name not in old:
-            value, unit = new[name]
-            print(f"{name:<{width}}  {'-':>12}  {fmt(value):>12}  "
-                  f"{'added':>12}  {'':>8}  {unit}")
-            continue
-        if name not in new:
-            value, unit = old[name]
-            print(f"{name:<{width}}  {fmt(value):>12}  {'-':>12}  "
-                  f"{'removed':>12}  {'':>8}  {unit}")
-            continue
+    for name in shared:
         ov, unit = old[name]
         nv, _ = new[name]
         delta = nv - ov
@@ -80,11 +81,29 @@ def main():
         if args.threshold is not None and abs(pct) > args.threshold:
             tripped.append((name, pct))
 
+    if added:
+        print(f"\n{len(added)} metric(s) only in {args.new}:")
+        for name in added:
+            value, unit = new[name]
+            print(f"  + {name:<{width}}  {fmt(value):>12}  {unit}")
+    if removed:
+        print(f"\n{len(removed)} metric(s) only in {args.old}:")
+        for name in removed:
+            value, unit = old[name]
+            print(f"  - {name:<{width}}  {fmt(value):>12}  {unit}")
+
+    failed = False
     if tripped:
         print(f"\n{len(tripped)} metric(s) moved more than "
               f"{args.threshold}%:")
         for name, pct in tripped:
             print(f"  {name}: {pct:+.1f}%")
+        failed = True
+    if args.fail_on_removed and removed:
+        print(f"\n{len(removed)} metric(s) removed "
+              f"(--fail-on-removed)")
+        failed = True
+    if failed:
         sys.exit(1)
 
 
